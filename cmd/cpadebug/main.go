@@ -1,0 +1,56 @@
+// Command cpadebug prints raw CPA records for a tiny serial-load program; a
+// development aid for validating the critical-path walk.
+package main
+
+import (
+	"fmt"
+
+	"reno/internal/asm"
+	"reno/internal/cpa"
+	"reno/internal/emu"
+	"reno/internal/pipeline"
+	"reno/internal/reno"
+)
+
+func main() {
+	src := `
+	li r2, 131072
+	addi r9, zero, 50
+loop:
+	ld r2, 0(r2)
+	ld r2, 0(r2)
+	add r3, r3, r2
+	subi r9, r9, 1
+	bne r9, zero, loop
+	halt
+	`
+	p := asm.MustAssemble(src)
+	// Build a self-loop pointer at 131072 so the chase stays put.
+	m := emu.New(p.Code)
+	m.Mem.Store(131072, 131072)
+
+	cfg := pipeline.FourWide(reno.Baseline(160))
+	var n int
+	s := pipeline.New(cfg, func() (emu.Dyn, bool) {
+		if m.Halted {
+			return emu.Dyn{}, false
+		}
+		d, err := m.Step()
+		if err != nil {
+			return emu.Dyn{}, false
+		}
+		n++
+		return d, true
+	})
+	s.AttachCPA(1000)
+	res, err := s.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("IPC %.2f cycles %d insts %d\n", res.IPC, res.Cycles, res.Insts)
+	pp := res.CPA.Percent()
+	fmt.Printf("fetch %.1f alu %.1f load %.1f mem %.1f commit %.1f\n",
+		pp[cpa.BFetch], pp[cpa.BALU], pp[cpa.BLoad], pp[cpa.BMem], pp[cpa.BCommit])
+	fmt.Println("breakdown:", res.CPA.Breakdown, "pathlen:", res.CPA.PathLen)
+}

@@ -1,0 +1,65 @@
+// Command mixdump prints the post-warmup dynamic instruction mix of every
+// workload profile; a development aid for tuning profiles against the
+// paper's reported mixes.
+package main
+
+import (
+	"fmt"
+
+	"reno/internal/emu"
+	"reno/internal/isa"
+	"reno/internal/workload"
+)
+
+func main() {
+	for _, p := range workload.AllProfiles() {
+		w, err := workload.Build(workload.Scale(p, 0.3))
+		if err != nil {
+			fmt.Println(p.Name, "ERR", err)
+			continue
+		}
+		warm, err := w.WarmupCount()
+		if err != nil {
+			fmt.Println(p.Name, "ERR", err)
+			continue
+		}
+		var total, moves, addis, loads, stores, brs, calls, muls, fps int
+		m := emu.New(w.Code)
+		err = m.Trace(warm+4_000_000, func(d emu.Dyn) bool {
+			if m.ICount <= warm {
+				return true
+			}
+			total++
+			if isa.IsMove(d.Inst) {
+				moves++
+			} else if isa.IsRegImmAdd(d.Inst) {
+				addis++
+			}
+			switch isa.ClassOf(d.Inst) {
+			case isa.ClassLoad:
+				loads++
+			case isa.ClassStore:
+				stores++
+			case isa.ClassBranch:
+				brs++
+			case isa.ClassCall, isa.ClassReturn:
+				calls++
+			case isa.ClassIntMul:
+				muls++
+			case isa.ClassFP:
+				fps++
+			}
+			return true
+		})
+		halt := "ok"
+		if err != nil {
+			halt = "ERR:" + err.Error()
+		}
+		if !m.Halted {
+			halt = "NOHALT"
+		}
+		pct := func(n int) float64 { return 100 * float64(n) / float64(total) }
+		fmt.Printf("%-10s %-10s warm=%6d n=%8d mv=%4.1f ai=%4.1f ld=%4.1f st=%4.1f br=%4.1f ca=%4.1f mu=%4.1f fp=%4.1f %s\n",
+			p.Name, p.Suite, warm, total, pct(moves), pct(addis), pct(loads), pct(stores), pct(brs), pct(calls), pct(muls), pct(fps), halt)
+	}
+}

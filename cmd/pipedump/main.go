@@ -1,0 +1,52 @@
+// Command pipedump runs workloads through several RENO configurations and
+// prints elimination rates and speedups; a development aid for calibrating
+// against the paper's Figures 8 and 10.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"reno/internal/pipeline"
+	"reno/internal/reno"
+	"reno/internal/workload"
+)
+
+func main() {
+	names := []string{"perl.s", "vortex", "crafty"}
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+	cfgs := []struct {
+		name string
+		rc   reno.Config
+	}{
+		{"base", reno.Baseline(160)},
+		{"mecf", reno.MECF(160)},
+		{"default", reno.Default(160)},
+		{"loadsIT", reno.LoadsIntegration(160)},
+	}
+	for _, name := range names {
+		p, ok := workload.ByName(name)
+		if !ok {
+			continue
+		}
+		w := workload.MustBuild(workload.Scale(p, 1.0))
+		warm, _ := w.WarmupCount()
+		var baseCycles uint64
+		for _, c := range cfgs {
+			res, _, err := pipeline.RunProgram(pipeline.FourWide(c.rc), w.Code, warm, 300_000)
+			if err != nil {
+				fmt.Println(name, c.name, err)
+				continue
+			}
+			if c.name == "base" {
+				baseCycles = res.Cycles
+			}
+			sp := 100 * (float64(baseCycles)/float64(res.Cycles) - 1)
+			fmt.Printf("%-8s %-8s IPC=%.3f sp=%+6.1f%% ME=%4.1f CF=%4.1f LD=%4.1f ALU=%4.1f portconf=%-6d reexF=%d avgIQ=%.1f\n",
+				name, c.name, res.IPC, sp, res.ElimME, res.ElimCF, res.ElimLoads, res.ElimALU,
+				res.StorePortConflicts, res.ReexecFails, res.AvgIQOcc)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command renoasm assembles an AXP32 source file, optionally runs it
+// functionally, and prints the disassembly and final architectural state.
+//
+// Usage:
+//
+//	renoasm prog.s            # assemble + run, print registers
+//	renoasm -d prog.s         # disassemble only
+//	renoasm -limit N prog.s   # cap executed instructions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reno/internal/asm"
+	"reno/internal/emu"
+	"reno/internal/isa"
+)
+
+func main() {
+	disOnly := flag.Bool("d", false, "disassemble only, do not execute")
+	limit := flag.Uint64("limit", 100_000_000, "dynamic instruction limit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: renoasm [-d] [-limit N] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *disOnly {
+		fmt.Print(asm.Disassemble(p))
+		return
+	}
+	m := emu.New(p.Code)
+	if err := m.Run(*limit); err != nil {
+		fatalf("run: %v", err)
+	}
+	fmt.Printf("halted after %d instructions\n", m.ICount)
+	for r := isa.Reg(0); r < isa.NumLogicalRegs; r++ {
+		if v := m.Regs[r]; v != 0 && r != isa.RSP {
+			fmt.Printf("  %-5s = %d (%#x)\n", r, int64(v), v)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "renoasm: "+format+"\n", args...)
+	os.Exit(1)
+}

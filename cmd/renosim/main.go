@@ -1,0 +1,143 @@
+// Command renosim runs one benchmark (or an assembly file) on one simulated
+// processor configuration and prints detailed statistics.
+//
+// Usage:
+//
+//	renosim -bench gzip -config RENO
+//	renosim -bench gsm.de -config ME+CF -width 6 -pregs 112 -sched 2
+//	renosim -asm prog.s -config BASE
+//	renosim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"reno/internal/asm"
+	"reno/internal/cpa"
+	"reno/internal/harness"
+	"reno/internal/isa"
+	"reno/internal/pipeline"
+	"reno/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark profile name (see -list)")
+	asmFile := flag.String("asm", "", "assembly file to simulate instead of a benchmark")
+	config := flag.String("config", "RENO", "RENO configuration: BASE, ME, ME+CF, RENO, RENO+FI, FullInteg, LoadsInteg")
+	width := flag.Int("width", 4, "machine width: 4 or 6")
+	pregs := flag.Int("pregs", 160, "physical register file size")
+	sched := flag.Int("sched", 1, "wakeup-select loop latency (1 or 2)")
+	intALUs := flag.Int("ints", 0, "override integer ALU count (0 = default)")
+	issueTot := flag.Int("issue", 0, "override total issue width (0 = default)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	maxInsts := flag.Uint64("max", 300_000, "timed instruction budget (0 = to completion)")
+	withCPA := flag.Bool("cpa", false, "attach the critical-path analyzer")
+	list := flag.Bool("list", false, "list benchmark profiles and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.AllProfiles() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Suite)
+		}
+		return
+	}
+
+	rcs := harness.RenoConfigs(*pregs)
+	rc, ok := rcs[*config]
+	if !ok {
+		names := make([]string, 0, len(rcs))
+		for k := range rcs {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fatalf("unknown config %q; one of %s", *config, strings.Join(names, ", "))
+	}
+
+	var cfg pipeline.Config
+	if *width == 6 {
+		cfg = pipeline.SixWide(rc)
+	} else {
+		cfg = pipeline.FourWide(rc)
+	}
+	if *sched != 1 {
+		cfg = cfg.WithSchedLoop(*sched)
+	}
+	if *intALUs > 0 && *issueTot > 0 {
+		cfg = cfg.WithIssue(*intALUs, *issueTot)
+	}
+
+	var code []isa.Inst
+	var warm uint64
+	switch {
+	case *asmFile != "":
+		src, err := os.ReadFile(*asmFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		p, err := asm.Assemble(string(src))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		code = p.Code
+	case *bench != "":
+		prof, ok := workload.ByName(*bench)
+		if !ok {
+			fatalf("unknown benchmark %q (try -list)", *bench)
+		}
+		prog, err := workload.Build(workload.Scale(prof, *scale))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		warm, err = prog.WarmupCount()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		code = prog.Code
+	default:
+		fatalf("need -bench or -asm")
+	}
+
+	var res *pipeline.Result
+	var err error
+	if *withCPA {
+		res, _, err = pipeline.RunProgramCPA(cfg, code, warm, *maxInsts, 50_000)
+	} else {
+		res, _, err = pipeline.RunProgram(cfg, code, warm, *maxInsts)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("config            %s / %s / %d pregs / sched %d\n", cfg.Name, *config, cfg.Reno.PhysRegs, cfg.SchedLoop)
+	fmt.Printf("instructions      %d\n", res.Insts)
+	fmt.Printf("cycles            %d\n", res.Cycles)
+	fmt.Printf("IPC               %.3f\n", res.IPC)
+	fmt.Printf("eliminated        %.1f%% (ME %.1f%% | CF %.1f%% | loads %.1f%% | alu %.1f%%)\n",
+		res.ElimTotal, res.ElimME, res.ElimCF, res.ElimLoads, res.ElimALU)
+	fmt.Printf("fused ops         %d (penalized %d)\n", res.Reno.FusedOps, res.Reno.FusedPenalized)
+	fmt.Printf("fold cancels      overflow %d, same-group dependence %d\n",
+		res.Reno.FoldCancelOverflow, res.Reno.FoldCancelGroupDep)
+	fmt.Printf("branch accuracy   %.3f (%d mispredicts)\n", res.BranchAccuracy, res.Mispredicts)
+	fmt.Printf("L1D/L2 miss rate  %.3f / %.3f\n", res.L1DMissRate, res.L2MissRate)
+	fmt.Printf("order violations  %d; reexec mismatches %d; replays %d\n",
+		res.OrderViolations, res.ReexecFails, res.Replays)
+	fmt.Printf("avg IQ occupancy  %.1f / %d\n", res.AvgIQOcc, cfg.IQSize)
+	fmt.Printf("avg/max pregs     %.1f / %d (of %d)\n", res.AvgPregsInUse, res.MaxPregsUsed, cfg.Reno.PhysRegs)
+	if res.ITLookups > 0 {
+		fmt.Printf("IT                %d lookups, %d hits, %d inserts\n", res.ITLookups, res.ITHits, res.ITInserts)
+	}
+	if res.CPA != nil {
+		p := res.CPA.Percent()
+		fmt.Printf("critical path     fetch %.1f%% alu %.1f%% load %.1f%% mem %.1f%% commit %.1f%%\n",
+			p[cpa.BFetch], p[cpa.BALU], p[cpa.BLoad], p[cpa.BMem], p[cpa.BCommit])
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "renosim: "+format+"\n", args...)
+	os.Exit(1)
+}

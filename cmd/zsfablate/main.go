@@ -1,0 +1,45 @@
+// Command zsfablate measures the FoldZeroSource extension (folding
+// immediate loads `addi rd, zero, imm` to [p0:imm] mappings) against the
+// paper's RENO configuration; see the extension section of EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+
+	"reno/internal/pipeline"
+	"reno/internal/reno"
+	"reno/internal/workload"
+)
+
+func main() {
+	var d, z float64
+	var n int
+	for _, p := range workload.AllProfiles() {
+		w := workload.MustBuild(p)
+		warm, err := w.WarmupCount()
+		if err != nil {
+			fmt.Println(p.Name, err)
+			continue
+		}
+		base, _, err := pipeline.RunProgram(pipeline.FourWide(reno.Baseline(160)), w.Code, warm, 150_000)
+		if err != nil {
+			fmt.Println(p.Name, err)
+			continue
+		}
+		def, _, err := pipeline.RunProgram(pipeline.FourWide(reno.Default(160)), w.Code, warm, 150_000)
+		if err != nil {
+			continue
+		}
+		cfg := reno.Default(160)
+		cfg.FoldZeroSource = true
+		zsf, _, err := pipeline.RunProgram(pipeline.FourWide(cfg), w.Code, warm, 150_000)
+		if err != nil {
+			continue
+		}
+		d += 100 * (float64(base.Cycles)/float64(def.Cycles) - 1)
+		z += 100 * (float64(base.Cycles)/float64(zsf.Cycles) - 1)
+		n++
+	}
+	fmt.Printf("avg speedup over %d benches: RENO %.2f%%  RENO+FoldZeroSource %.2f%%\n",
+		n, d/float64(n), z/float64(n))
+}

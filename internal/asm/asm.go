@@ -1,0 +1,481 @@
+// Package asm implements a two-pass assembler for the AXP32 ISA.
+//
+// Syntax (one instruction or directive per line; `#` and `;` start comments):
+//
+//	label:
+//	    addi r2, r3, 4
+//	    move r4, r2          # pseudo: addi r4, r2, 0
+//	    ld   r5, 8(r2)
+//	    st   r5, -16(sp)
+//	    beq  r5, zero, label # branch targets are labels
+//	    jal  ra, func
+//	    jr   ra
+//	    li   r6, 123456      # pseudo: lui+ori or addi as needed
+//	    halt
+//
+// Registers are r0..r31 with aliases sp (r30), zero (r31), ra (r26),
+// gp (r29). Immediates are decimal or 0x-hex, range-checked to 16 bits.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"reno/internal/isa"
+)
+
+// Program is an assembled AXP32 program: a flat code image starting at word
+// address 0, plus symbol information.
+type Program struct {
+	Code    []isa.Inst
+	Symbols map[string]int // label -> word address
+}
+
+// Error describes an assembly failure with line context.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type patch struct {
+	addr  int    // instruction index needing the patch
+	label string // target label
+	line  int
+	rel   bool // PC-relative word offset (branches/jumps) vs absolute
+}
+
+// Assemble parses and assembles AXP32 assembly text.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Symbols: map[string]int{}}
+	var patches []patch
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			ci := strings.Index(line, ":")
+			if ci < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:ci])
+			if !validLabel(label) {
+				return nil, &Error{ln + 1, fmt.Sprintf("invalid label %q", label)}
+			}
+			if _, dup := p.Symbols[label]; dup {
+				return nil, &Error{ln + 1, fmt.Sprintf("duplicate label %q", label)}
+			}
+			p.Symbols[label] = len(p.Code)
+			line = strings.TrimSpace(line[ci+1:])
+		}
+		if line == "" {
+			continue
+		}
+		insts, ps, err := parseInst(line, len(p.Code), ln+1)
+		if err != nil {
+			return nil, err
+		}
+		patches = append(patches, ps...)
+		p.Code = append(p.Code, insts...)
+	}
+
+	for _, pt := range patches {
+		target, ok := p.Symbols[pt.label]
+		if !ok {
+			return nil, &Error{pt.line, fmt.Sprintf("undefined label %q", pt.label)}
+		}
+		in := &p.Code[pt.addr]
+		if pt.rel {
+			// Branch offsets are relative to the *next* instruction, in words.
+			off := target - (pt.addr + 1)
+			if off < -32768 || off > 32767 {
+				return nil, &Error{pt.line, fmt.Sprintf("branch to %q out of range (%d words)", pt.label, off)}
+			}
+			in.Imm = int32(off)
+		} else {
+			if target > 32767 {
+				return nil, &Error{pt.line, fmt.Sprintf("absolute address of %q out of range", pt.label)}
+			}
+			in.Imm = int32(target)
+		}
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and examples with
+// literal source text.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var regAliases = map[string]isa.Reg{
+	"sp": isa.RSP, "zero": isa.RZero, "ra": isa.RRA, "gp": isa.RGP,
+	"v0": isa.RV0, "a0": isa.RA0, "a1": isa.RA0 + 1, "a2": isa.RA0 + 2, "a3": isa.RA0 + 3,
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumLogicalRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -32768 || v > 65535 {
+		return 0, fmt.Errorf("immediate %d out of 16-bit range", v)
+	}
+	return int32(int16(v)), nil
+}
+
+// parseMem parses "disp(reg)" memory-operand syntax.
+func parseMem(s string) (isa.Reg, int32, error) {
+	s = strings.TrimSpace(s)
+	lp := strings.Index(s, "(")
+	rp := strings.LastIndex(s, ")")
+	if lp < 0 || rp < lp {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	disp := int32(0)
+	if d := strings.TrimSpace(s[:lp]); d != "" {
+		v, err := parseImm(d)
+		if err != nil {
+			return 0, 0, err
+		}
+		disp = v
+	}
+	base, err := parseReg(s[lp+1 : rp])
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, disp, nil
+}
+
+var opsByName = map[string]isa.Op{}
+
+func init() {
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		opsByName[op.String()] = op
+	}
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseInst(line string, addr, ln int) ([]isa.Inst, []patch, error) {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], line[i+1:]
+	}
+	mnemonic = strings.ToLower(mnemonic)
+	ops := splitOperands(rest)
+
+	fail := func(format string, args ...any) ([]isa.Inst, []patch, error) {
+		return nil, nil, &Error{ln, fmt.Sprintf(format, args...)}
+	}
+	needOps := func(n int) error {
+		if len(ops) != n {
+			return &Error{ln, fmt.Sprintf("%s needs %d operands, got %d", mnemonic, n, len(ops))}
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch mnemonic {
+	case "move", "mov":
+		if err := needOps(2); err != nil {
+			return nil, nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return []isa.Inst{isa.Move(rd, rs)}, nil, nil
+	case "li":
+		if err := needOps(2); err != nil {
+			return nil, nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		v, err := strconv.ParseInt(ops[1], 0, 64)
+		if err != nil {
+			return fail("bad immediate %q", ops[1])
+		}
+		if v >= -32768 && v <= 32767 {
+			return []isa.Inst{isa.Addi(rd, isa.RZero, int32(v))}, nil, nil
+		}
+		if v < 0 || v > 0xffffffff {
+			return fail("li immediate %d out of 32-bit range", v)
+		}
+		hi := int32(v >> 16 & 0xffff)
+		lo := int32(v & 0xffff)
+		out := []isa.Inst{isa.I(isa.OpLui, rd, isa.RZero, int32(int16(hi)))}
+		if lo != 0 {
+			out = append(out, isa.I(isa.OpOri, rd, rd, int32(int16(lo))))
+		}
+		return out, nil, nil
+	case "ret":
+		if len(ops) != 0 {
+			return fail("ret takes no operands")
+		}
+		return []isa.Inst{{Op: isa.OpJr, Rd: isa.RZero, Rs: isa.RRA, Rt: isa.RZero}}, nil, nil
+	case "call":
+		if err := needOps(1); err != nil {
+			return nil, nil, err
+		}
+		in := isa.Inst{Op: isa.OpJal, Rd: isa.RRA, Rs: isa.RZero, Rt: isa.RZero}
+		return []isa.Inst{in}, []patch{{addr: addr, label: ops[0], line: ln, rel: true}}, nil
+	}
+
+	op, ok := opsByName[mnemonic]
+	if !ok {
+		return fail("unknown mnemonic %q", mnemonic)
+	}
+
+	switch isa.FormatOf(op) {
+	case isa.FmtN:
+		if len(ops) != 0 {
+			return fail("%s takes no operands", mnemonic)
+		}
+		return []isa.Inst{{Op: op, Rd: isa.RZero, Rs: isa.RZero, Rt: isa.RZero}}, nil, nil
+
+	case isa.FmtI:
+		if op == isa.OpLd {
+			if err := needOps(2); err != nil {
+				return nil, nil, err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			base, disp, err := parseMem(ops[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			return []isa.Inst{isa.Ld(rd, base, disp)}, nil, nil
+		}
+		if op == isa.OpLui {
+			if err := needOps(2); err != nil {
+				return nil, nil, err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			imm, err := parseImm(ops[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			return []isa.Inst{isa.I(op, rd, isa.RZero, imm)}, nil, nil
+		}
+		if err := needOps(3); err != nil {
+			return nil, nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		imm, err := parseImm(ops[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return []isa.Inst{isa.I(op, rd, rs, imm)}, nil, nil
+
+	case isa.FmtB:
+		if op == isa.OpSt {
+			if err := needOps(2); err != nil {
+				return nil, nil, err
+			}
+			rt, err := parseReg(ops[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			base, disp, err := parseMem(ops[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			return []isa.Inst{isa.St(rt, base, disp)}, nil, nil
+		}
+		if err := needOps(3); err != nil {
+			return nil, nil, err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rt, err := parseReg(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in := isa.Branch(op, rs, rt, 0)
+		return []isa.Inst{in}, []patch{{addr: addr, label: ops[2], line: ln, rel: true}}, nil
+
+	case isa.FmtJ:
+		if op == isa.OpJal {
+			if err := needOps(2); err != nil {
+				return nil, nil, err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			in := isa.Inst{Op: op, Rd: rd, Rs: isa.RZero, Rt: isa.RZero}
+			return []isa.Inst{in}, []patch{{addr: addr, label: ops[1], line: ln, rel: true}}, nil
+		}
+		if err := needOps(1); err != nil {
+			return nil, nil, err
+		}
+		in := isa.Inst{Op: op, Rd: isa.RZero, Rs: isa.RZero, Rt: isa.RZero}
+		return []isa.Inst{in}, []patch{{addr: addr, label: ops[0], line: ln, rel: true}}, nil
+
+	case isa.FmtR:
+		switch op {
+		case isa.OpJr:
+			if err := needOps(1); err != nil {
+				return nil, nil, err
+			}
+			rs, err := parseReg(ops[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			return []isa.Inst{{Op: op, Rd: isa.RZero, Rs: rs, Rt: isa.RZero}}, nil, nil
+		case isa.OpJalr:
+			if err := needOps(2); err != nil {
+				return nil, nil, err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return fail("%v", err)
+			}
+			rs, err := parseReg(ops[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			return []isa.Inst{{Op: op, Rd: rd, Rs: rs, Rt: isa.RZero}}, nil, nil
+		}
+		if err := needOps(3); err != nil {
+			return nil, nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rt, err := parseReg(ops[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return []isa.Inst{isa.R(op, rd, rs, rt)}, nil, nil
+	}
+	return fail("unhandled format for %q", mnemonic)
+}
+
+// Disassemble renders a program as assembly text with synthesized labels at
+// branch targets.
+func Disassemble(p *Program) string {
+	targets := map[int]string{}
+	for name, addr := range p.Symbols {
+		targets[addr] = name
+	}
+	next := 0
+	for pc, in := range p.Code {
+		var t int
+		switch isa.FormatOf(in.Op) {
+		case isa.FmtB:
+			if in.Op == isa.OpSt {
+				continue
+			}
+			t = pc + 1 + int(in.Imm)
+		case isa.FmtJ:
+			t = pc + 1 + int(in.Imm)
+		default:
+			continue
+		}
+		if _, ok := targets[t]; !ok && t >= 0 && t < len(p.Code) {
+			targets[t] = fmt.Sprintf("L%d", next)
+			next++
+		}
+	}
+	var b strings.Builder
+	for pc, in := range p.Code {
+		if name, ok := targets[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		switch {
+		case isa.FormatOf(in.Op) == isa.FmtB && in.Op != isa.OpSt:
+			fmt.Fprintf(&b, "\t%s %s, %s, %s\n", in.Op, in.Rs, in.Rt, targets[pc+1+int(in.Imm)])
+		case in.Op == isa.OpJmp:
+			fmt.Fprintf(&b, "\t%s %s\n", in.Op, targets[pc+1+int(in.Imm)])
+		case in.Op == isa.OpJal:
+			fmt.Fprintf(&b, "\t%s %s, %s\n", in.Op, in.Rd, targets[pc+1+int(in.Imm)])
+		default:
+			fmt.Fprintf(&b, "\t%s\n", in)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,314 @@
+// Package emu implements the AXP32 architectural (functional) emulator.
+//
+// The emulator executes programs sequentially and precisely. It serves two
+// roles in the reproduction:
+//
+//  1. Oracle: the cycle-level pipeline must produce identical architectural
+//     state whether RENO is enabled or not, and both must match the emulator.
+//  2. Trace feed: the timing simulator is trace-driven (execute-at-fetch);
+//     the emulator supplies the committed dynamic instruction stream with
+//     resolved addresses and branch outcomes.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"reno/internal/isa"
+)
+
+// Memory is a sparse, paged, word-addressed (8-byte word) data memory. Pages
+// are allocated on first touch and initialized to zero, so freestanding
+// programs can use any address.
+type Memory struct {
+	pages map[uint64]*[pageWords]uint64
+}
+
+const (
+	pageShift = 12 // 4096 words (32KB) per page
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
+// NewMemory returns an empty zero-filled memory.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint64]*[pageWords]uint64{}}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageWords]uint64 {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageWords]uint64)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Load reads the 64-bit word at word address addr.
+func (m *Memory) Load(addr uint64) uint64 {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&pageMask]
+	}
+	return 0
+}
+
+// Store writes the 64-bit word at word address addr.
+func (m *Memory) Store(addr, val uint64) {
+	m.page(addr, true)[addr&pageMask] = val
+}
+
+// Footprint returns the number of distinct pages touched.
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Machine is the architectural state of an AXP32 processor.
+type Machine struct {
+	Regs [isa.NumLogicalRegs]uint64
+	PC   uint64
+	Mem  *Memory
+	Code []isa.Inst
+
+	Halted bool
+	ICount uint64 // dynamic instructions retired
+}
+
+// New creates a machine for the given code image. The stack pointer starts
+// high so that downward-growing stacks never collide with heap addresses
+// the synthetic workloads use.
+func New(code []isa.Inst) *Machine {
+	m := &Machine{Mem: NewMemory(), Code: code}
+	m.Regs[isa.RSP] = 1 << 30
+	return m
+}
+
+// ErrNoHalt is returned by Run when the step limit is hit before OpHalt.
+var ErrNoHalt = errors.New("emu: instruction limit reached before halt")
+
+// ErrPCRange is returned when the PC leaves the code image.
+var ErrPCRange = errors.New("emu: PC out of code range")
+
+// Dyn is one dynamic (executed) instruction record, as consumed by the
+// timing simulator and the workload-mix analyzer.
+type Dyn struct {
+	PC      uint64   // word address of the instruction
+	Inst    isa.Inst // decoded instruction
+	NextPC  uint64   // architectural next PC (branch outcome)
+	EA      uint64   // effective address for loads/stores
+	Taken   bool     // for control transfers
+	Result  uint64   // destination value (0 when no destination)
+	SrcVals [2]uint64
+}
+
+// Step executes one instruction. It returns the dynamic record for the
+// instruction, or an error if the PC is out of range.
+func (m *Machine) Step() (Dyn, error) {
+	if m.Halted {
+		return Dyn{}, errors.New("emu: machine is halted")
+	}
+	if m.PC >= uint64(len(m.Code)) {
+		return Dyn{}, fmt.Errorf("%w: pc=%d len=%d", ErrPCRange, m.PC, len(m.Code))
+	}
+	in := m.Code[m.PC]
+	d := Dyn{PC: m.PC, Inst: in, NextPC: m.PC + 1}
+
+	rs, rt := isa.Sources(in)
+	a := m.Regs[rs]
+	b := m.Regs[rt]
+	d.SrcVals[0], d.SrcVals[1] = a, b
+
+	writeRd := func(v uint64) {
+		d.Result = v
+		if in.Rd != isa.RZero {
+			m.Regs[in.Rd] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		m.Halted = true
+	case isa.OpAddi:
+		writeRd(a + uint64(int64(in.Imm)))
+	case isa.OpSubi:
+		writeRd(a - uint64(int64(in.Imm)))
+	case isa.OpAndi:
+		writeRd(a & uint64(uint16(in.Imm)))
+	case isa.OpOri:
+		writeRd(a | uint64(uint16(in.Imm)))
+	case isa.OpXori:
+		writeRd(a ^ uint64(uint16(in.Imm)))
+	case isa.OpSlli:
+		writeRd(a << (uint64(in.Imm) & 63))
+	case isa.OpSrli:
+		writeRd(a >> (uint64(in.Imm) & 63))
+	case isa.OpSrai:
+		writeRd(uint64(int64(a) >> (uint64(in.Imm) & 63)))
+	case isa.OpLui:
+		writeRd(uint64(uint16(in.Imm)) << 16)
+	case isa.OpAdd, isa.OpFAdd:
+		writeRd(a + b)
+	case isa.OpSub:
+		writeRd(a - b)
+	case isa.OpAnd:
+		writeRd(a & b)
+	case isa.OpOr:
+		writeRd(a | b)
+	case isa.OpXor:
+		writeRd(a ^ b)
+	case isa.OpSll:
+		writeRd(a << (b & 63))
+	case isa.OpSrl:
+		writeRd(a >> (b & 63))
+	case isa.OpSra:
+		writeRd(uint64(int64(a) >> (b & 63)))
+	case isa.OpSlt:
+		if int64(a) < int64(b) {
+			writeRd(1)
+		} else {
+			writeRd(0)
+		}
+	case isa.OpSltu:
+		if a < b {
+			writeRd(1)
+		} else {
+			writeRd(0)
+		}
+	case isa.OpMul, isa.OpFMul:
+		writeRd(a * b)
+	case isa.OpDiv:
+		if b == 0 {
+			writeRd(0)
+		} else {
+			writeRd(uint64(int64(a) / int64(b)))
+		}
+	case isa.OpLd:
+		d.EA = a + uint64(int64(in.Imm))
+		writeRd(m.Mem.Load(d.EA))
+	case isa.OpSt:
+		// For stores rs is the base, rt the data: Sources already ordered
+		// them (base, data).
+		d.EA = a + uint64(int64(in.Imm))
+		m.Mem.Store(d.EA, b)
+		d.Result = b
+	case isa.OpBeq:
+		d.Taken = a == b
+	case isa.OpBne:
+		d.Taken = a != b
+	case isa.OpBlt:
+		d.Taken = int64(a) < int64(b)
+	case isa.OpBge:
+		d.Taken = int64(a) >= int64(b)
+	case isa.OpJmp:
+		d.Taken = true
+	case isa.OpJal:
+		d.Taken = true
+		writeRd(m.PC + 1)
+	case isa.OpJr:
+		d.Taken = true
+		d.NextPC = a
+	case isa.OpJalr:
+		d.Taken = true
+		d.NextPC = a
+		writeRd(m.PC + 1)
+	default:
+		return Dyn{}, fmt.Errorf("emu: unimplemented opcode %v at pc %d", in.Op, m.PC)
+	}
+
+	switch in.Op {
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		if d.Taken {
+			d.NextPC = uint64(int64(m.PC) + 1 + int64(in.Imm))
+		}
+	case isa.OpJmp, isa.OpJal:
+		d.NextPC = uint64(int64(m.PC) + 1 + int64(in.Imm))
+	}
+
+	m.PC = d.NextPC
+	m.ICount++
+	return d, nil
+}
+
+// Run executes until halt or until limit instructions have retired.
+func (m *Machine) Run(limit uint64) error {
+	for !m.Halted {
+		if m.ICount >= limit {
+			return fmt.Errorf("%w (limit %d)", ErrNoHalt, limit)
+		}
+		if _, err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Trace executes up to limit instructions, invoking fn for each dynamic
+// instruction. It stops at halt, at the limit, or when fn returns false.
+func (m *Machine) Trace(limit uint64, fn func(Dyn) bool) error {
+	for !m.Halted && m.ICount < limit {
+		d, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if !fn(d) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// CollectTrace runs the program from the beginning and returns its dynamic
+// instruction trace, up to limit instructions. The machine is freshly
+// created, so the caller's machine state is untouched.
+func CollectTrace(code []isa.Inst, limit uint64) ([]Dyn, error) {
+	m := New(code)
+	out := make([]Dyn, 0, min(limit, 1<<20))
+	err := m.Trace(limit, func(d Dyn) bool {
+		out = append(out, d)
+		return true
+	})
+	if err != nil {
+		return out, err
+	}
+	if !m.Halted && m.ICount >= limit {
+		return out, nil
+	}
+	return out, nil
+}
+
+// StateHash returns a cheap digest of architectural state (registers plus
+// touched-memory contents) for equivalence checks between configurations.
+func (m *Machine) StateHash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	for r, v := range m.Regs {
+		if isa.Reg(r) == isa.RZero {
+			continue
+		}
+		mix(uint64(r))
+		mix(v)
+	}
+	// Memory pages iterate in map order; make the hash order-independent by
+	// combining per-page hashes commutatively.
+	var memH uint64
+	for pn, pg := range m.Mem.pages {
+		ph := uint64(14695981039346656037)
+		ph ^= pn
+		ph *= prime
+		for i, w := range pg {
+			if w != 0 {
+				ph ^= uint64(i)
+				ph *= prime
+				ph ^= w
+				ph *= prime
+			}
+		}
+		memH += ph
+	}
+	mix(memH)
+	mix(m.PC)
+	return h
+}

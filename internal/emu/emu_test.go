@@ -1,0 +1,287 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"reno/internal/asm"
+	"reno/internal/isa"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p.Code)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+		addi r1, zero, 10
+		addi r2, zero, 3
+		add  r3, r1, r2   # 13
+		sub  r4, r1, r2   # 7
+		mul  r5, r1, r2   # 30
+		div  r6, r1, r2   # 3
+		and  r7, r1, r2   # 2
+		or   r8, r1, r2   # 11
+		xor  r9, r1, r2   # 9
+		slt  r10, r2, r1  # 1
+		sltu r11, r1, r2  # 0
+		halt
+	`)
+	want := map[isa.Reg]uint64{3: 13, 4: 7, 5: 30, 6: 3, 7: 2, 8: 11, 9: 9, 10: 1, 11: 0}
+	for r, v := range want {
+		if m.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, m.Regs[r], v)
+		}
+	}
+}
+
+func TestShiftsAndNegatives(t *testing.T) {
+	m := run(t, `
+		addi r1, zero, -8
+		srai r2, r1, 1   # -4
+		srli r3, r1, 60
+		slli r4, r1, 2   # -32
+		addi r5, zero, 1
+		sll  r6, r5, r4  # shift by -32&63 = 32
+		halt
+	`)
+	if int64(m.Regs[2]) != -4 {
+		t.Errorf("srai: %d", int64(m.Regs[2]))
+	}
+	if m.Regs[3] != 0xf {
+		t.Errorf("srli: %#x", m.Regs[3])
+	}
+	if int64(m.Regs[4]) != -32 {
+		t.Errorf("slli: %d", int64(m.Regs[4]))
+	}
+	if m.Regs[6] != 1<<32 {
+		t.Errorf("sll by reg: %#x", m.Regs[6])
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	m := run(t, `
+		addi r1, zero, 5
+		div  r2, r1, zero
+		halt
+	`)
+	if m.Regs[2] != 0 {
+		t.Errorf("div by zero = %d, want 0", m.Regs[2])
+	}
+}
+
+func TestMemory(t *testing.T) {
+	m := run(t, `
+		addi r1, zero, 1000
+		addi r2, zero, 77
+		st   r2, 8(r1)
+		ld   r3, 8(r1)
+		ld   r4, 16(r1)  # untouched -> 0
+		st   r2, -8(sp)
+		ld   r5, -8(sp)
+		halt
+	`)
+	if m.Regs[3] != 77 {
+		t.Errorf("ld after st = %d", m.Regs[3])
+	}
+	if m.Regs[4] != 0 {
+		t.Errorf("untouched memory = %d", m.Regs[4])
+	}
+	if m.Regs[5] != 77 {
+		t.Errorf("stack slot = %d", m.Regs[5])
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	m := run(t, `
+		addi r1, zero, 0   # sum
+		addi r2, zero, 10  # i
+	loop:
+		add  r1, r1, r2
+		subi r2, r2, 1
+		bne  r2, zero, loop
+		halt
+	`)
+	if m.Regs[1] != 55 {
+		t.Errorf("sum 1..10 = %d, want 55", m.Regs[1])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m := run(t, `
+		addi r16, zero, 20
+		call double
+		move r9, r0
+		call double2   # via indirect
+		halt
+	double:
+		add r0, r16, r16
+		ret
+	double2:
+		add r0, r9, r9
+		ret
+	`)
+	if m.Regs[9] != 40 {
+		t.Errorf("first call result = %d, want 40", m.Regs[9])
+	}
+	if m.Regs[0] != 80 {
+		t.Errorf("second call result = %d, want 80", m.Regs[0])
+	}
+}
+
+func TestStackSpillFill(t *testing.T) {
+	// The idiom RENO.RA targets: store to stack, adjust sp, restore.
+	m := run(t, `
+		addi r1, zero, 123
+		st   r1, 8(sp)
+		subi sp, sp, 16
+		addi r1, zero, 0    # clobber
+		addi sp, sp, 16
+		ld   r2, 8(sp)
+		halt
+	`)
+	if m.Regs[2] != 123 {
+		t.Errorf("spill/fill = %d, want 123", m.Regs[2])
+	}
+}
+
+func TestZeroRegister(t *testing.T) {
+	m := run(t, `
+		addi zero, zero, 55
+		add  zero, zero, zero
+		addi r1, zero, 7
+		halt
+	`)
+	if m.Regs[isa.RZero] != 0 {
+		t.Errorf("zero register modified: %d", m.Regs[isa.RZero])
+	}
+	if m.Regs[1] != 7 {
+		t.Errorf("r1 = %d", m.Regs[1])
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	p := asm.MustAssemble(`
+	spin:
+		jmp spin
+	`)
+	m := New(p.Code)
+	err := m.Run(100)
+	if !errors.Is(err, ErrNoHalt) {
+		t.Errorf("err = %v, want ErrNoHalt", err)
+	}
+	if m.ICount != 100 {
+		t.Errorf("icount = %d, want 100", m.ICount)
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	m := New([]isa.Inst{isa.Addi(1, isa.RZero, 1)}) // no halt
+	m.Regs[isa.RSP] = 0
+	_, err := m.Step()
+	if err != nil {
+		t.Fatalf("first step: %v", err)
+	}
+	_, err = m.Step()
+	if !errors.Is(err, ErrPCRange) {
+		t.Errorf("err = %v, want ErrPCRange", err)
+	}
+}
+
+func TestDynRecords(t *testing.T) {
+	p := asm.MustAssemble(`
+		addi r1, zero, 4
+		ld   r2, 8(r1)
+		beq  r2, zero, skip
+		addi r3, zero, 1
+	skip:
+		halt
+	`)
+	tr, err := CollectTrace(p.Code, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 4 { // addi, ld, beq(taken), halt
+		t.Fatalf("trace length = %d, want 4", len(tr))
+	}
+	if tr[1].EA != 12 {
+		t.Errorf("load EA = %d, want 12", tr[1].EA)
+	}
+	if !tr[2].Taken || tr[2].NextPC != 4 {
+		t.Errorf("branch record: taken=%v next=%d", tr[2].Taken, tr[2].NextPC)
+	}
+	if tr[0].Result != 4 {
+		t.Errorf("addi result = %d", tr[0].Result)
+	}
+}
+
+func TestMemorySparseQuick(t *testing.T) {
+	// Property: store then load at arbitrary addresses round-trips, and
+	// loads at never-stored addresses read zero.
+	mem := NewMemory()
+	written := map[uint64]uint64{}
+	f := func(addr, val uint64) bool {
+		addr %= 1 << 40
+		mem.Store(addr, val)
+		written[addr] = val
+		return mem.Load(addr) == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	for a, v := range written {
+		if mem.Load(a) != v {
+			t.Fatalf("addr %d: got %d want %d", a, mem.Load(a), v)
+		}
+	}
+	if mem.Load(1<<41+12345) != 0 {
+		t.Error("unwritten address is non-zero")
+	}
+}
+
+func TestStateHashSensitivity(t *testing.T) {
+	p := asm.MustAssemble(`
+		addi r1, zero, 1
+		halt
+	`)
+	m1 := New(p.Code)
+	if err := m1.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(p.Code)
+	if err := m2.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m1.StateHash() != m2.StateHash() {
+		t.Error("identical runs hash differently")
+	}
+	m2.Regs[5] = 99
+	if m1.StateHash() == m2.StateHash() {
+		t.Error("register difference not reflected in hash")
+	}
+	m2.Regs[5] = 0
+	m2.Mem.Store(424242, 1)
+	if m1.StateHash() == m2.StateHash() {
+		t.Error("memory difference not reflected in hash")
+	}
+}
+
+func TestLuiOri(t *testing.T) {
+	m := run(t, `
+		li r1, 0x12345678
+		halt
+	`)
+	if m.Regs[1] != 0x12345678 {
+		t.Errorf("li large = %#x", m.Regs[1])
+	}
+}

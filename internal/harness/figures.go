@@ -1,0 +1,446 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"reno/internal/cpa"
+	"reno/internal/emu"
+	"reno/internal/isa"
+	"reno/internal/pipeline"
+	"reno/internal/reno"
+	"reno/internal/workload"
+)
+
+// Fig8 regenerates Figure 8: per-benchmark instruction elimination rates
+// (ME / CF / RA+CSE stacks) and speedups, on 4- and 6-wide machines.
+func Fig8(w io.Writer, opts Options) *Set {
+	spec, media := Suites()
+	all := append(append([]workload.Profile{}, spec...), media...)
+
+	var jobs []Job
+	for _, b := range all {
+		for _, width := range []string{"4", "6"} {
+			base := machine(width, reno.Baseline(160))
+			full := machine(width, reno.Default(160))
+			jobs = append(jobs,
+				Job{b, "base" + width, base},
+				Job{b, "reno" + width, full},
+			)
+		}
+	}
+	set := Execute(jobs, opts, nil)
+
+	for _, suite := range []struct {
+		name  string
+		profs []workload.Profile
+	}{{"SPECint", spec}, {"MediaBench", media}} {
+		elim := &Table{
+			Title:   fmt.Sprintf("Figure 8 (top, %s): %% dynamic instructions eliminated or folded", suite.name),
+			Columns: []string{"bench", "ME(4)", "CF(4)", "RA+CSE(4)", "tot(4)", "tot(6)"},
+		}
+		speed := &Table{
+			Title:   fmt.Sprintf("Figure 8 (bottom, %s): %% speedup over RENO-less baseline", suite.name),
+			Columns: []string{"bench", "speedup(4)", "speedup(6)"},
+		}
+		var tots4, tots6, sps4, sps6 []float64
+		for _, b := range suite.profs {
+			r4 := set.Get(b.Name, "reno4")
+			r6 := set.Get(b.Name, "reno6")
+			if r4 == nil || r6 == nil {
+				continue
+			}
+			elim.AddRow(b.Name,
+				F(r4.Res.ElimME), F(r4.Res.ElimCF),
+				F(r4.Res.ElimLoads+r4.Res.ElimALU),
+				F(r4.Res.ElimTotal), F(r6.Res.ElimTotal))
+			sp4 := set.Speedup(b.Name, "base4", "reno4")
+			sp6 := set.Speedup(b.Name, "base6", "reno6")
+			speed.AddRow(b.Name, F(sp4), F(sp6))
+			tots4 = append(tots4, r4.Res.ElimTotal)
+			tots6 = append(tots6, r6.Res.ElimTotal)
+			sps4 = append(sps4, sp4)
+			sps6 = append(sps6, sp6)
+		}
+		elim.AddRow("amean", "", "", "", F(MeanPct(tots4)), F(MeanPct(tots6)))
+		speed.AddRow("amean", F(MeanPct(sps4)), F(MeanPct(sps6)))
+		elim.Fprint(w)
+		fmt.Fprintln(w)
+		speed.Fprint(w)
+		fmt.Fprintln(w)
+	}
+	return set
+}
+
+// Fig9 regenerates Figure 9: critical-path breakdowns for the paper's
+// benchmark subset under BASE, ME+CF, and full RENO.
+func Fig9(w io.Writer, opts Options) {
+	specSel := []string{"crafty", "eon.k", "gap", "gzip", "parser", "perl.s", "vortex", "vpr.r"}
+	mediaSel := []string{"adpcm.de", "epic", "g721.en", "gsm.de", "jpg.de", "mesa.m", "mesa.t", "mpg2.en", "pegw.en"}
+
+	cfgs := []struct {
+		tag string
+		rc  reno.Config
+	}{
+		{"BASE", reno.Baseline(160)},
+		{"ME+CF", reno.MECF(160)},
+		{"RENO", reno.Default(160)},
+	}
+
+	for _, sel := range [][]string{specSel, mediaSel} {
+		tb := &Table{
+			Title:   "Figure 9: critical-path breakdown (% of critical path)",
+			Columns: []string{"bench", "config", "fetch", "alu", "load", "mem", "commit"},
+		}
+		for _, name := range sel {
+			prof, ok := workload.ByName(name)
+			if !ok {
+				continue
+			}
+			prog := workload.MustBuild(workload.Scale(prof, opts.Scale))
+			warm, err := prog.WarmupCount()
+			if err != nil {
+				fmt.Fprintf(w, "%s: %v\n", name, err)
+				continue
+			}
+			for _, c := range cfgs {
+				res, _, err := pipeline.RunProgramCPA(pipeline.FourWide(c.rc), prog.Code, warm, opts.MaxInsts, 50_000)
+				if err != nil {
+					fmt.Fprintf(w, "%s/%s: %v\n", name, c.tag, err)
+					continue
+				}
+				p := res.CPA.Percent()
+				tb.AddRow(name, c.tag,
+					F(p[cpa.BFetch]), F(p[cpa.BALU]), F(p[cpa.BLoad]), F(p[cpa.BMem]), F(p[cpa.BCommit]))
+			}
+		}
+		tb.Fprint(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig10 regenerates Figure 10: the division of labor between RENO.CF and
+// RENO.CSE+RA — RENO (CF + loads-only IT), RENO + full IT, full integration
+// alone, loads-only integration alone — plus the E9 table-bandwidth
+// accounting (Section 2.4's 50%/56% claims).
+func Fig10(w io.Writer, opts Options) *Set {
+	spec, media := Suites()
+	all := append(append([]workload.Profile{}, spec...), media...)
+
+	cfgs := []struct {
+		tag string
+		rc  reno.Config
+	}{
+		{"BASE", reno.Baseline(160)},
+		{"RENO", reno.Default(160)},
+		{"RENO+FI", reno.RENOPlusFullIntegration(160)},
+		{"FullInteg", reno.FullIntegration(160)},
+		{"LoadsInteg", reno.LoadsIntegration(160)},
+	}
+	var jobs []Job
+	for _, b := range all {
+		for _, c := range cfgs {
+			jobs = append(jobs, Job{b, c.tag, machine("4", c.rc)})
+		}
+	}
+	set := Execute(jobs, opts, nil)
+
+	for _, suite := range []struct {
+		name  string
+		profs []workload.Profile
+	}{{"SPECint", spec}, {"MediaBench", media}} {
+		tb := &Table{
+			Title:   fmt.Sprintf("Figure 10 (%s): %% speedup over baseline", suite.name),
+			Columns: []string{"bench", "RENO", "RENO+FullInteg", "FullInteg", "LoadsInteg"},
+		}
+		cols := []string{"RENO", "RENO+FI", "FullInteg", "LoadsInteg"}
+		means := map[string][]float64{}
+		for _, b := range suite.profs {
+			row := []string{b.Name}
+			for _, c := range cols {
+				sp := set.Speedup(b.Name, "BASE", c)
+				row = append(row, F(sp))
+				means[c] = append(means[c], sp)
+			}
+			tb.AddRow(row...)
+		}
+		tb.AddRow("avg", F(MeanPct(means["RENO"])), F(MeanPct(means["RENO+FI"])),
+			F(MeanPct(means["FullInteg"])), F(MeanPct(means["LoadsInteg"])))
+		tb.Fprint(w)
+		fmt.Fprintln(w)
+	}
+
+	// E9: IT bandwidth accounting. The paper: the loads-only repartition
+	// cuts IT size by 50% and accesses by ~56% versus full integration.
+	var renoAcc, fiAcc uint64
+	for _, b := range all {
+		if r := set.Get(b.Name, "RENO"); r != nil {
+			renoAcc += r.Res.ITLookups + r.Res.ITInserts
+		}
+		if r := set.Get(b.Name, "RENO+FI"); r != nil {
+			fiAcc += r.Res.ITLookups + r.Res.ITInserts
+		}
+	}
+	if fiAcc > 0 {
+		fmt.Fprintf(w, "IT accesses: RENO (loads-only) %d vs RENO+FullInteg %d: %.0f%% reduction (paper: 56%%; table size halved by construction)\n\n",
+			renoAcc, fiAcc, 100*(1-float64(renoAcc)/float64(fiAcc)))
+	}
+	return set
+}
+
+// Fig11 regenerates Figure 11: RENO compensating for reduced physical
+// register files (top) and reduced issue width (bottom). Values are
+// performance relative to the full-size RENO-less baseline (=100).
+func Fig11(w io.Writer, opts Options) {
+	spec, media := Suites()
+
+	renoCfgs := []struct {
+		tag string
+		rc  reno.Config
+	}{
+		{"BASE", reno.Baseline(0)}, // PhysRegs filled per sweep point
+		{"CF+ME", reno.MECF(0)},
+		{"RA+CSE", reno.Default(0)},
+	}
+
+	// Top: register file sweep.
+	var jobs []Job
+	all := append(append([]workload.Profile{}, spec...), media...)
+	for _, b := range all {
+		for _, n := range []int{96, 112, 128, 160} {
+			for _, c := range renoCfgs {
+				rc := c.rc
+				rc.PhysRegs = n
+				jobs = append(jobs, Job{b, fmt.Sprintf("%s/p%d", c.tag, n), machine("4", rc)})
+			}
+		}
+	}
+	set := Execute(jobs, opts, nil)
+
+	for _, suite := range []struct {
+		name  string
+		profs []workload.Profile
+	}{{"SPECint", spec}, {"MediaBench", media}} {
+		tb := &Table{
+			Title:   fmt.Sprintf("Figure 11 top (%s): relative performance (100 = 160-preg RENO-less baseline)", suite.name),
+			Columns: []string{"pregs", "BASE", "CF+ME", "RA+CSE"},
+		}
+		for _, n := range []int{96, 112, 128, 160} {
+			row := []string{fmt.Sprint(n)}
+			for _, c := range renoCfgs {
+				var vals []float64
+				for _, b := range suite.profs {
+					vals = append(vals, set.RelPerf(b.Name, "BASE/p160", fmt.Sprintf("%s/p%d", c.tag, n)))
+				}
+				row = append(row, F(MeanPct(vals)))
+			}
+			tb.AddRow(row...)
+		}
+		tb.Fprint(w)
+		fmt.Fprintln(w)
+	}
+
+	// Bottom: issue width sweep.
+	widths := []struct {
+		tag  string
+		ints int
+		tot  int
+	}{{"i2t2", 2, 2}, {"i2t3", 2, 3}, {"i3t4", 3, 4}}
+	jobs = jobs[:0]
+	for _, b := range all {
+		for _, wd := range widths {
+			for _, c := range renoCfgs {
+				rc := c.rc
+				rc.PhysRegs = 160
+				cfg := pipeline.FourWide(rc).WithIssue(wd.ints, wd.tot)
+				jobs = append(jobs, Job{b, c.tag + "/" + wd.tag, cfg})
+			}
+		}
+	}
+	set = Execute(jobs, opts, nil)
+
+	for _, suite := range []struct {
+		name  string
+		profs []workload.Profile
+	}{{"SPECint", spec}, {"MediaBench", media}} {
+		tb := &Table{
+			Title:   fmt.Sprintf("Figure 11 bottom (%s): relative performance (100 = i3t4 RENO-less baseline)", suite.name),
+			Columns: []string{"issue", "BASE", "CF+ME", "RA+CSE"},
+		}
+		for _, wd := range widths {
+			row := []string{wd.tag}
+			for _, c := range renoCfgs {
+				var vals []float64
+				for _, b := range suite.profs {
+					vals = append(vals, set.RelPerf(b.Name, "BASE/i3t4", c.tag+"/"+wd.tag))
+				}
+				row = append(row, F(MeanPct(vals)))
+			}
+			tb.AddRow(row...)
+		}
+		tb.Fprint(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig12 regenerates Figure 12: tolerating a 2-cycle wakeup-select
+// scheduling loop. Values relative to the 1-cycle RENO-less baseline.
+func Fig12(w io.Writer, opts Options) {
+	spec, media := Suites()
+	all := append(append([]workload.Profile{}, spec...), media...)
+
+	cfgs := []struct {
+		tag string
+		rc  reno.Config
+	}{
+		{"BASE", reno.Baseline(160)},
+		{"CF+ME", reno.MECF(160)},
+		{"RA+CSE", reno.Default(160)},
+	}
+	var jobs []Job
+	for _, b := range all {
+		for _, loop := range []int{1, 2} {
+			for _, c := range cfgs {
+				cfg := pipeline.FourWide(c.rc).WithSchedLoop(loop)
+				jobs = append(jobs, Job{b, fmt.Sprintf("%s/%dc", c.tag, loop), cfg})
+			}
+		}
+	}
+	set := Execute(jobs, opts, nil)
+
+	for _, suite := range []struct {
+		name  string
+		profs []workload.Profile
+	}{{"SPECint", spec}, {"MediaBench", media}} {
+		tb := &Table{
+			Title:   fmt.Sprintf("Figure 12 (%s): relative performance (100 = 1-cycle-loop RENO-less baseline)", suite.name),
+			Columns: []string{"schedloop", "BASE", "CF+ME", "RA+CSE"},
+		}
+		for _, loop := range []int{1, 2} {
+			row := []string{fmt.Sprintf("%dc", loop)}
+			for _, c := range cfgs {
+				var vals []float64
+				for _, b := range suite.profs {
+					vals = append(vals, set.RelPerf(b.Name, "BASE/1c", fmt.Sprintf("%s/%dc", c.tag, loop)))
+				}
+				row = append(row, F(MeanPct(vals)))
+			}
+			tb.AddRow(row...)
+		}
+		tb.Fprint(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// TableMix regenerates the Section 1/4.2 instruction-mix statistics: the
+// dynamic fraction of register moves and register-immediate additions.
+func TableMix(w io.Writer, opts Options) {
+	spec, media := Suites()
+	for _, suite := range []struct {
+		name  string
+		profs []workload.Profile
+	}{{"SPECint", spec}, {"MediaBench", media}} {
+		tb := &Table{
+			Title:   fmt.Sprintf("Instruction mix (%s): %% of dynamic instructions", suite.name),
+			Columns: []string{"bench", "moves", "reg-imm add", "loads", "stores", "branches"},
+		}
+		var mvs, ads []float64
+		for _, p := range suite.profs {
+			prog := workload.MustBuild(workload.Scale(p, opts.Scale))
+			warm, err := prog.WarmupCount()
+			if err != nil {
+				continue
+			}
+			var total, mv, ad, ld, st, br float64
+			m := emu.New(prog.Code)
+			limit := warm + opts.MaxInsts
+			if opts.MaxInsts == 0 {
+				limit = ^uint64(0)
+			}
+			_ = m.Trace(limit, func(d emu.Dyn) bool {
+				if m.ICount <= warm {
+					return true
+				}
+				total++
+				switch {
+				case isa.IsMove(d.Inst):
+					mv++
+				case isa.IsRegImmAdd(d.Inst):
+					ad++
+				}
+				switch isa.ClassOf(d.Inst) {
+				case isa.ClassLoad:
+					ld++
+				case isa.ClassStore:
+					st++
+				case isa.ClassBranch:
+					br++
+				}
+				return true
+			})
+			if total == 0 {
+				continue
+			}
+			tb.AddRow(p.Name, F(100*mv/total), F(100*ad/total),
+				F(100*ld/total), F(100*st/total), F(100*br/total))
+			mvs = append(mvs, 100*mv/total)
+			ads = append(ads, 100*ad/total)
+		}
+		tb.AddRow("amean", F(MeanPct(mvs)), F(MeanPct(ads)), "", "", "")
+		tb.Fprint(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// CFLatencyAblation regenerates the Section 3.3 claim: if every fused
+// operation costs an extra cycle, RENO.CF keeps most of its advantage
+// (the paper: it loses only 20-25% of its relative gain, 1-2% absolute).
+func CFLatencyAblation(w io.Writer, opts Options) {
+	spec, media := Suites()
+	all := append(append([]workload.Profile{}, spec...), media...)
+
+	free := reno.MECF(160)
+	slow := reno.MECF(160)
+	slow.PenalizeAllFusions = true
+
+	var jobs []Job
+	for _, b := range all {
+		jobs = append(jobs,
+			Job{b, "BASE", machine("4", reno.Baseline(160))},
+			Job{b, "CF-free", machine("4", free)},
+			Job{b, "CF-penal", machine("4", slow)},
+		)
+	}
+	set := Execute(jobs, opts, nil)
+
+	tb := &Table{
+		Title:   "CF fusion-latency ablation (Section 3.3): % speedup over baseline",
+		Columns: []string{"suite", "CF free fusion", "CF all-fusions+1", "retained"},
+	}
+	for _, suite := range []struct {
+		name  string
+		profs []workload.Profile
+	}{{"SPECint", spec}, {"MediaBench", media}} {
+		var f, s []float64
+		for _, b := range suite.profs {
+			f = append(f, set.Speedup(b.Name, "BASE", "CF-free"))
+			s = append(s, set.Speedup(b.Name, "BASE", "CF-penal"))
+		}
+		mf, ms := MeanPct(f), MeanPct(s)
+		ret := "-"
+		if mf > 0 {
+			ret = fmt.Sprintf("%.0f%%", 100*ms/mf)
+		}
+		tb.AddRow(suite.name, F(mf), F(ms), ret)
+	}
+	tb.Fprint(w)
+	fmt.Fprintln(w)
+}
+
+// machine builds a pipeline config for a width tag ("4" or "6").
+func machine(width string, rc reno.Config) pipeline.Config {
+	if width == "6" {
+		return pipeline.SixWide(rc)
+	}
+	return pipeline.FourWide(rc)
+}

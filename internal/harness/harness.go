@@ -1,0 +1,307 @@
+// Package harness drives the experiments of Section 4: it runs benchmark
+// suites across processor and RENO configurations and renders the rows and
+// series of every table and figure in the paper's evaluation. See the
+// per-experiment index in DESIGN.md and the paper-vs-measured record in
+// EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"reno/internal/pipeline"
+	"reno/internal/reno"
+	"reno/internal/workload"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Scale multiplies every workload's iteration count (1.0 ≈ 100-300k
+	// dynamic instructions per benchmark).
+	Scale float64
+	// MaxInsts caps the timed instructions per run (0 = to completion).
+	MaxInsts uint64
+	// Parallel runs benchmarks concurrently (one goroutine per run).
+	Parallel bool
+}
+
+// DefaultOptions returns laptop-scale settings.
+func DefaultOptions() Options {
+	return Options{Scale: 1.0, MaxInsts: 300_000, Parallel: true}
+}
+
+// Run is one (benchmark, configuration) measurement.
+type Run struct {
+	Bench  string
+	Suite  string
+	Config string
+	Res    *pipeline.Result
+	Hash   uint64
+	Err    error
+}
+
+// key identifies a run.
+func (r Run) key() string { return r.Bench + "/" + r.Config }
+
+// Set holds the results of a batch of runs, indexed for table rendering.
+type Set struct {
+	Runs map[string]*Run
+}
+
+// Get returns the run for (bench, config), or nil.
+func (s *Set) Get(bench, config string) *Run {
+	if r, ok := s.Runs[bench+"/"+config]; ok && r.Err == nil {
+		return r
+	}
+	return nil
+}
+
+// Speedup returns the percentage speedup of config over base for bench,
+// computed from cycle counts as in the paper (NaN if either run failed).
+func (s *Set) Speedup(bench, base, config string) float64 {
+	b, c := s.Get(bench, base), s.Get(bench, config)
+	if b == nil || c == nil || c.Res.Cycles == 0 {
+		return math.NaN()
+	}
+	return 100 * (float64(b.Res.Cycles)/float64(c.Res.Cycles) - 1)
+}
+
+// RelPerf returns config's performance relative to base as a percentage
+// (100 = parity), the Figure 11/12 normalization.
+func (s *Set) RelPerf(bench, base, config string) float64 {
+	b, c := s.Get(bench, base), s.Get(bench, config)
+	if b == nil || c == nil || c.Res.Cycles == 0 {
+		return math.NaN()
+	}
+	return 100 * float64(b.Res.Cycles) / float64(c.Res.Cycles)
+}
+
+// Job is one pending simulation.
+type Job struct {
+	Bench  workload.Profile
+	CfgTag string
+	Cfg    pipeline.Config
+}
+
+// Execute runs all jobs, honoring opts, checking that every configuration
+// of a benchmark reaches the same architectural state.
+func Execute(jobs []Job, opts Options, progress io.Writer) *Set {
+	set := &Set{Runs: map[string]*Run{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel(opts))
+
+	// Build each distinct workload once.
+	progs := map[string]*workload.Program{}
+	warms := map[string]uint64{}
+	for _, j := range jobs {
+		if _, ok := progs[j.Bench.Name]; ok {
+			continue
+		}
+		w, err := workload.Build(workload.Scale(j.Bench, opts.Scale))
+		if err != nil {
+			panic(err)
+		}
+		warm, err := w.WarmupCount()
+		if err != nil {
+			panic(err)
+		}
+		progs[j.Bench.Name] = w
+		warms[j.Bench.Name] = warm
+	}
+
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			w := progs[j.Bench.Name]
+			res, hash, err := pipeline.RunProgram(j.Cfg, w.Code, warms[j.Bench.Name], opts.MaxInsts)
+			run := &Run{Bench: j.Bench.Name, Suite: j.Bench.Suite, Config: j.CfgTag, Res: res, Hash: hash, Err: err}
+			mu.Lock()
+			set.Runs[run.key()] = run
+			if progress != nil {
+				if err != nil {
+					fmt.Fprintf(progress, "  %-10s %-14s ERROR %v\n", j.Bench.Name, j.CfgTag, err)
+				} else {
+					fmt.Fprintf(progress, "  %-10s %-14s IPC %.3f elim %.1f%%\n",
+						j.Bench.Name, j.CfgTag, res.IPC, res.ElimTotal)
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	// Architectural-equivalence audit across configurations.
+	byBench := map[string][]*Run{}
+	for _, r := range set.Runs {
+		if r.Err == nil {
+			byBench[r.Bench] = append(byBench[r.Bench], r)
+		}
+	}
+	for bench, rs := range byBench {
+		for _, r := range rs[1:] {
+			if r.Hash != rs[0].Hash && progress != nil {
+				fmt.Fprintf(progress, "  WARNING: %s: architectural state differs between %s and %s\n",
+					bench, rs[0].Config, r.Config)
+			}
+		}
+	}
+	return set
+}
+
+func maxParallel(o Options) int {
+	if o.Parallel {
+		return 8
+	}
+	return 1
+}
+
+// Suites returns the benchmark lists used by every figure.
+func Suites() (spec, media []workload.Profile) {
+	return workload.SPECint(), workload.MediaBench()
+}
+
+// GeoMeanPct computes the geometric-mean percentage speedup across benches
+// (the paper's arithmetic-mean bars are labeled "amean"; we report both).
+func GeoMeanPct(vals []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		prod *= 1 + v/100
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return 100 * (math.Pow(prod, 1/float64(n)) - 1)
+}
+
+// MeanPct is the arithmetic mean ignoring NaNs (the paper's amean).
+func MeanPct(vals []float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Table renders a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Fprint writes the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// F formats a float with one decimal, rendering NaN as "-".
+func F(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// SortedBenchNames returns the benchmark names of a suite in their
+// canonical (paper) order.
+func SortedBenchNames(profiles []workload.Profile) []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ConfigTag builds the canonical tag for a figure's configuration axis.
+func ConfigTag(parts ...string) string { return strings.Join(parts, "+") }
+
+// RenoConfigs returns the named RENO configurations used across figures.
+func RenoConfigs(pregs int) map[string]reno.Config {
+	return map[string]reno.Config{
+		"BASE":       reno.Baseline(pregs),
+		"ME":         {PhysRegs: pregs, EnableME: true},
+		"ME+CF":      reno.MECF(pregs),
+		"RENO":       reno.Default(pregs),
+		"RENO+FI":    reno.RENOPlusFullIntegration(pregs),
+		"FullInteg":  reno.FullIntegration(pregs),
+		"LoadsInteg": reno.LoadsIntegration(pregs),
+	}
+}
+
+// sortRunKeys is used by debugging helpers to render a Set stably.
+func (s *Set) sortedKeys() []string {
+	keys := make([]string, 0, len(s.Runs))
+	for k := range s.Runs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Dump writes every run one per line (debugging aid).
+func (s *Set) Dump(w io.Writer) {
+	for _, k := range s.sortedKeys() {
+		r := s.Runs[k]
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-28s ERR %v\n", k, r.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%-28s IPC %.3f cycles %d elim %.1f%%\n", k, r.Res.IPC, r.Res.Cycles, r.Res.ElimTotal)
+	}
+}

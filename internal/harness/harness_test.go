@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"reno/internal/pipeline"
+	"reno/internal/reno"
+	"reno/internal/workload"
+)
+
+func tinyOpts() Options {
+	return Options{Scale: 0.15, MaxInsts: 20_000, Parallel: true}
+}
+
+func TestExecuteAndSpeedup(t *testing.T) {
+	prof, _ := workload.ByName("gzip")
+	jobs := []Job{
+		{prof, "base", pipeline.FourWide(reno.Baseline(160))},
+		{prof, "reno", pipeline.FourWide(reno.Default(160))},
+	}
+	set := Execute(jobs, tinyOpts(), nil)
+	if set.Get("gzip", "base") == nil || set.Get("gzip", "reno") == nil {
+		t.Fatal("runs missing")
+	}
+	sp := set.Speedup("gzip", "base", "reno")
+	if math.IsNaN(sp) {
+		t.Fatal("speedup NaN")
+	}
+	if sp < -30 || sp > 60 {
+		t.Errorf("implausible speedup %.1f%%", sp)
+	}
+	rel := set.RelPerf("gzip", "base", "reno")
+	if math.Abs(rel-(100+sp)) > 0.01 {
+		t.Errorf("RelPerf %.2f inconsistent with speedup %.2f", rel, sp)
+	}
+}
+
+func TestArchitecturalEquivalenceAcrossConfigs(t *testing.T) {
+	// The central soundness property: RENO must be invisible to software.
+	// Run several benchmarks under all configurations to completion and
+	// compare final state hashes.
+	for _, name := range []string{"gzip", "perl.s", "gsm.de", "crafty"} {
+		prof, _ := workload.ByName(name)
+		var jobs []Job
+		for tag, rc := range RenoConfigs(160) {
+			jobs = append(jobs, Job{prof, tag, pipeline.FourWide(rc)})
+		}
+		opts := Options{Scale: 0.1, MaxInsts: 0, Parallel: true} // to completion
+		set := Execute(jobs, opts, nil)
+		var h uint64
+		var first string
+		for tag := range RenoConfigs(160) {
+			r := set.Get(name, tag)
+			if r == nil {
+				t.Fatalf("%s/%s failed", name, tag)
+			}
+			if first == "" {
+				h, first = r.Hash, tag
+				continue
+			}
+			if r.Hash != h {
+				t.Errorf("%s: architectural state differs between %s and %s", name, first, tag)
+			}
+		}
+	}
+}
+
+func TestEliminationRatesInPaperBands(t *testing.T) {
+	// Figure 8 headline: RENO eliminates or folds ~22% of dynamic
+	// instructions in both suites (we accept 15-32% per-suite averages).
+	spec, media := Suites()
+	check := func(suite string, profs []workload.Profile) {
+		var tot float64
+		n := 0
+		for _, p := range profs[:6] { // subset for test runtime
+			var jobs []Job
+			jobs = append(jobs, Job{p, "reno", pipeline.FourWide(reno.Default(160))})
+			set := Execute(jobs, tinyOpts(), nil)
+			if r := set.Get(p.Name, "reno"); r != nil {
+				tot += r.Res.ElimTotal
+				n++
+			}
+		}
+		avg := tot / float64(n)
+		if avg < 15 || avg > 34 {
+			t.Errorf("%s elimination average %.1f%%, want ~22%% (band 15-34)", suite, avg)
+		}
+	}
+	check("SPECint", spec)
+	check("MediaBench", media)
+}
+
+func TestRenoBeatsBaselineOnAverage(t *testing.T) {
+	// Figure 8 bottom: positive average speedups on both suites.
+	spec, media := Suites()
+	avgSpeedup := func(profs []workload.Profile) float64 {
+		var jobs []Job
+		for _, p := range profs {
+			jobs = append(jobs,
+				Job{p, "base", pipeline.FourWide(reno.Baseline(160))},
+				Job{p, "reno", pipeline.FourWide(reno.Default(160))})
+		}
+		set := Execute(jobs, tinyOpts(), nil)
+		var sps []float64
+		for _, p := range profs {
+			sps = append(sps, set.Speedup(p.Name, "base", "reno"))
+		}
+		return MeanPct(sps)
+	}
+	if sp := avgSpeedup(spec); sp <= 0 {
+		t.Errorf("SPECint average speedup %.1f%%, want positive (paper: 8%%)", sp)
+	}
+	if sp := avgSpeedup(media); sp <= 3 {
+		t.Errorf("MediaBench average speedup %.1f%%, want clearly positive (paper: 13%%)", sp)
+	}
+}
+
+func TestFiguresRenderWithoutError(t *testing.T) {
+	// Smoke: every figure generator runs end to end at tiny scale and
+	// produces non-empty tabular output.
+	opts := Options{Scale: 0.05, MaxInsts: 5_000, Parallel: true}
+	var b strings.Builder
+	Fig9IfShort := func() {
+		// Fig 9 runs serially per benchmark; keep it tiny.
+		Fig9(&b, Options{Scale: 0.05, MaxInsts: 3_000, Parallel: false})
+	}
+	TableMix(&b, opts)
+	Fig8(&b, opts)
+	Fig10(&b, opts)
+	Fig12(&b, opts)
+	CFLatencyAblation(&b, opts)
+	Fig9IfShort()
+	out := b.String()
+	for _, frag := range []string{"Figure 8", "Figure 9", "Figure 10", "Figure 12", "amean"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("figure output missing %q", frag)
+		}
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	vals := []float64{10, 20, math.NaN(), 30}
+	if m := MeanPct(vals); math.Abs(m-20) > 1e-9 {
+		t.Errorf("mean = %f", m)
+	}
+	g := GeoMeanPct([]float64{10, 10})
+	if math.Abs(g-10) > 1e-9 {
+		t.Errorf("geomean of equal values = %f", g)
+	}
+	if !math.IsNaN(MeanPct([]float64{math.NaN()})) {
+		t.Error("mean of all-NaN should be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "bb"}}
+	tb.AddRow("x", "1.0")
+	var b strings.Builder
+	tb.Fprint(&b)
+	out := b.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "bb") || !strings.Contains(out, "x") {
+		t.Errorf("table output malformed:\n%s", out)
+	}
+}
+
+func TestFFormat(t *testing.T) {
+	if F(1.25) != "1.2" && F(1.25) != "1.3" {
+		t.Errorf("F(1.25) = %s", F(1.25))
+	}
+	if F(math.NaN()) != "-" {
+		t.Errorf("F(NaN) = %s", F(math.NaN()))
+	}
+}
+
+func TestRenoConfigsComplete(t *testing.T) {
+	cfgs := RenoConfigs(160)
+	for _, name := range []string{"BASE", "ME", "ME+CF", "RENO", "RENO+FI", "FullInteg", "LoadsInteg"} {
+		if _, ok := cfgs[name]; !ok {
+			t.Errorf("config %q missing", name)
+		}
+	}
+	if cfgs["BASE"].EnableME || cfgs["BASE"].EnableCF || cfgs["BASE"].EnableCSERA {
+		t.Error("BASE enables optimizations")
+	}
+	if !cfgs["RENO"].EnableCF || !cfgs["RENO"].EnableCSERA {
+		t.Error("RENO misconfigured")
+	}
+}
+
+func TestDump(t *testing.T) {
+	prof, _ := workload.ByName("gzip")
+	set := Execute([]Job{{prof, "base", pipeline.FourWide(reno.Baseline(160))}},
+		Options{Scale: 0.05, MaxInsts: 3_000, Parallel: false}, io.Discard)
+	var b strings.Builder
+	set.Dump(&b)
+	if !strings.Contains(b.String(), "gzip/base") {
+		t.Errorf("dump missing run: %s", b.String())
+	}
+}

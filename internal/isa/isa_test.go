@@ -1,0 +1,211 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		Nop,
+		Halt,
+		Move(Reg(3), Reg(2)),
+		Addi(Reg(2), Reg(3), 4),
+		Addi(Reg(2), Reg(3), -4),
+		I(OpSubi, RSP, RSP, 16),
+		I(OpLui, Reg(9), RZero, 0x1234),
+		Ld(Reg(4), Reg(2), 8),
+		St(Reg(2), RSP, 8),
+		R(OpAdd, Reg(3), Reg(1), Reg(2)),
+		R(OpMul, Reg(7), Reg(5), Reg(6)),
+		R(OpFAdd, Reg(7), Reg(5), Reg(6)),
+		Branch(OpBeq, Reg(1), Reg(2), -12),
+		Branch(OpBne, Reg(1), RZero, 100),
+		{Op: OpJmp, Rd: RZero, Rs: RZero, Rt: RZero, Imm: -5},
+		{Op: OpJal, Rd: RRA, Rs: RZero, Rt: RZero, Imm: 40},
+		{Op: OpJr, Rd: RZero, Rs: RRA, Rt: RZero},
+		{Op: OpJalr, Rd: RRA, Rs: Reg(9), Rt: RZero},
+	}
+	for _, in := range cases {
+		got := Decode(Encode(in))
+		want := Canon(in)
+		if got != want {
+			t.Errorf("round trip %v: got %+v want %+v", in, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(op uint8, rd, rs, rt uint8, imm int16) bool {
+		in := Inst{
+			Op:  Op(op % uint8(NumOps)),
+			Rd:  Reg(rd % 32),
+			Rs:  Reg(rs % 32),
+			Rt:  Reg(rt % 32),
+			Imm: int32(imm),
+		}
+		c := Canon(in)
+		// Canonical form must be a fixed point of encode/decode.
+		return Decode(Encode(c)) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeUndefinedOpcodeIsNop(t *testing.T) {
+	w := Word(uint32(NumOps+3) << 26)
+	if got := Decode(w); got != Nop {
+		t.Errorf("undefined opcode decoded to %+v, want nop", got)
+	}
+}
+
+func TestIsMove(t *testing.T) {
+	if !IsMove(Move(Reg(3), Reg(2))) {
+		t.Error("move r3, r2 not recognized")
+	}
+	if IsMove(Addi(Reg(3), Reg(2), 1)) {
+		t.Error("addi with non-zero imm recognized as move")
+	}
+	if IsMove(Addi(RZero, Reg(2), 0)) {
+		t.Error("addi to zero register recognized as move")
+	}
+	if IsMove(Addi(Reg(3), RZero, 0)) {
+		t.Error("addi from zero register recognized as move (it is a clear)")
+	}
+	if !IsMove(I(OpOri, Reg(3), Reg(2), 0)) {
+		t.Error("ori rd, rs, 0 should be a move idiom")
+	}
+}
+
+func TestIsRegImmAddAndFoldedDisp(t *testing.T) {
+	a := Addi(Reg(2), Reg(3), 4)
+	if !IsRegImmAdd(a) || FoldedDisp(a) != 4 {
+		t.Errorf("addi: IsRegImmAdd=%v disp=%d", IsRegImmAdd(a), FoldedDisp(a))
+	}
+	s := I(OpSubi, RSP, RSP, 16)
+	if !IsRegImmAdd(s) || FoldedDisp(s) != -16 {
+		t.Errorf("subi: IsRegImmAdd=%v disp=%d", IsRegImmAdd(s), FoldedDisp(s))
+	}
+	if IsRegImmAdd(I(OpAndi, Reg(2), Reg(3), 4)) {
+		t.Error("andi recognized as reg-imm add")
+	}
+	if IsRegImmAdd(Ld(Reg(2), Reg(3), 4)) {
+		t.Error("load recognized as reg-imm add")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want Class
+	}{
+		{Nop, ClassNop},
+		{Halt, ClassHalt},
+		{Addi(Reg(1), Reg(2), 3), ClassIntALU},
+		{R(OpMul, Reg(1), Reg(2), Reg(3)), ClassIntMul},
+		{R(OpFMul, Reg(1), Reg(2), Reg(3)), ClassFP},
+		{Ld(Reg(1), Reg(2), 0), ClassLoad},
+		{St(Reg(1), Reg(2), 0), ClassStore},
+		{Branch(OpBeq, Reg(1), Reg(2), 4), ClassBranch},
+		{Inst{Op: OpJmp, Imm: 4}, ClassBranch},
+		{Inst{Op: OpJal, Rd: RRA, Imm: 4}, ClassCall},
+		{Inst{Op: OpJalr, Rd: RRA, Rs: Reg(5)}, ClassCall},
+		{Inst{Op: OpJr, Rs: RRA}, ClassReturn},
+		{Inst{Op: OpJr, Rs: Reg(5)}, ClassBranch},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.in); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	if HasDest(St(Reg(1), Reg(2), 0)) {
+		t.Error("store has no destination")
+	}
+	if HasDest(Branch(OpBeq, Reg(1), Reg(2), 0)) {
+		t.Error("branch has no destination")
+	}
+	if HasDest(Addi(RZero, Reg(2), 1)) {
+		t.Error("write to zero register is not a destination")
+	}
+	if !HasDest(Addi(Reg(5), Reg(2), 1)) {
+		t.Error("addi writes a destination")
+	}
+	if !HasDest(Inst{Op: OpJal, Rd: RRA, Imm: 3}) {
+		t.Error("jal writes the link register")
+	}
+	if HasDest(Inst{Op: OpJmp, Imm: 3}) {
+		t.Error("jmp writes no register")
+	}
+	if HasDest(Inst{Op: OpJr, Rs: RRA}) {
+		t.Error("jr writes no register")
+	}
+}
+
+func TestSources(t *testing.T) {
+	rs, rt := Sources(St(Reg(7), Reg(8), 4))
+	if rs != Reg(8) || rt != Reg(7) {
+		t.Errorf("store sources = %v,%v; want base r8, data r7", rs, rt)
+	}
+	rs, rt = Sources(Addi(Reg(1), Reg(2), 3))
+	if rs != Reg(2) || rt != RZero {
+		t.Errorf("addi sources = %v,%v", rs, rt)
+	}
+	rs, rt = Sources(Inst{Op: OpJal, Rd: RRA, Imm: 5})
+	if rs != RZero || rt != RZero {
+		t.Errorf("jal sources = %v,%v", rs, rt)
+	}
+	rs, rt = Sources(Inst{Op: OpJr, Rs: RRA})
+	if rs != RRA || rt != RZero {
+		t.Errorf("jr sources = %v,%v", rs, rt)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Move(Reg(3), Reg(2)), "move r3, r2"},
+		{Addi(Reg(2), Reg(3), 4), "addi r2, r3, 4"},
+		{Ld(Reg(4), Reg(2), 8), "ld r4, 8(r2)"},
+		{St(Reg(2), RSP, 8), "st r2, 8(sp)"},
+		{Branch(OpBeq, Reg(1), RZero, -3), "beq r1, zero, -3"},
+		{Halt, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOpStringsAllDefined(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestIsCFCandidate(t *testing.T) {
+	if !IsCFCandidate(Move(Reg(1), Reg(2))) {
+		t.Error("move should be a CF candidate (CF subsumes ME)")
+	}
+	if !IsCFCandidate(Addi(Reg(1), Reg(2), 7)) {
+		t.Error("addi should be a CF candidate")
+	}
+	if IsCFCandidate(R(OpAdd, Reg(1), Reg(2), Reg(3))) {
+		t.Error("register-register add must not be a CF candidate")
+	}
+	if IsCFCandidate(Ld(Reg(1), Reg(2), 8)) {
+		t.Error("load must not be a CF candidate")
+	}
+	if IsCFCandidate(I(OpSlli, Reg(1), Reg(2), 3)) {
+		t.Error("shift must not be a CF candidate in the default config")
+	}
+}

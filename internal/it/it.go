@@ -1,0 +1,246 @@
+// Package it implements the integration table (IT) that drives RENO.CSE
+// (dynamic common-subexpression elimination) and RENO.RA (speculative
+// memory bypassing), Sections 2.2 and 2.4 of the paper.
+//
+// The IT treats the physical register file as a value cache. Each entry
+// describes one physical register in terms of the dataflow of the
+// instruction that created its value:
+//
+//	<opcode/imm, [pin1:din1], [pin2:din2] -> [pout:dout]>
+//
+// When renaming an instruction, the table is probed (hash-indexed,
+// set-associative — not associatively searched) for a tuple with the same
+// operation and the same input mappings; a hit means the value the
+// instruction would compute already exists, and the instruction collapses
+// by mapping its output to [pout:dout].
+//
+// Stores create *reverse* entries: a store `st rt, imm(rs)` installs the
+// tuple a matching future load would probe, <load/imm, [p_rs:d_rs] ->
+// [p_rt:d_rt]>, short-circuiting producer-store-load-consumer chains to
+// producer-consumer (the dynamic analog of register allocation). Stack
+// pointer decrements similarly create reverse addi entries so bypassing can
+// bootstrap across calls when RENO.CF is not present to fold them.
+//
+// Eliminated loads are speculative (memory may have been written in
+// between) and re-execute at retirement; ALU integrations are exact by name
+// equivalence and need no verification. To let the trace-driven simulator
+// adjudicate load re-execution, entries carry the value they represent —
+// this is the simulation stand-in for the retirement-port re-execution
+// described in Section 2.2.
+package it
+
+import (
+	"reno/internal/isa"
+	"reno/internal/renamer"
+)
+
+// Entry is one IT tuple.
+type Entry struct {
+	Valid bool
+	Op    isa.Op
+	Imm   int32
+	In1   renamer.Mapping
+	In2   renamer.Mapping
+	Out   renamer.Mapping
+
+	// Reverse marks a tuple created by a store (or stack-pointer
+	// decrement) for its anticipated counterpart, rather than by the
+	// instruction whose signature it matches (Section 2.2).
+	Reverse bool
+
+	// Value is the 64-bit value this tuple's output register (plus
+	// displacement) holds; used to adjudicate speculative load integration
+	// at retirement. HasValue is false for tuples created before the value
+	// was known (never the case in this simulator, but kept explicit).
+	Value    uint64
+	HasValue bool
+
+	age uint64 // for LRU within a set
+}
+
+// Policy selects which instruction classes the IT serves.
+type Policy int
+
+const (
+	// PolicyLoadsOnly: the default RENO configuration — the IT holds load
+	// tuples only (forward load entries and reverse entries from stores);
+	// ALU elimination is left to RENO.CF. Halves IT size traffic (§2.4).
+	PolicyLoadsOnly Policy = iota
+	// PolicyFull: classical register integration — ALU tuples too.
+	PolicyFull
+)
+
+func (p Policy) String() string {
+	if p == PolicyLoadsOnly {
+		return "loads-only"
+	}
+	return "full"
+}
+
+// Table is the set-associative integration table.
+type Table struct {
+	sets    int
+	ways    int
+	entries [][]Entry
+	policy  Policy
+	tick    uint64
+
+	// Stats (E9: size/bandwidth accounting).
+	Lookups  uint64
+	Hits     uint64
+	Inserts  uint64
+	Invalids uint64
+}
+
+// New builds an IT with the given total entries and associativity. The
+// paper's configuration is 512 entries, 2-way.
+func New(totalEntries, ways int, policy Policy) *Table {
+	sets := totalEntries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	t := &Table{sets: sets, ways: ways, policy: policy}
+	t.entries = make([][]Entry, sets)
+	for s := range t.entries {
+		t.entries[s] = make([]Entry, ways)
+	}
+	return t
+}
+
+// PolicyOf returns the table's policy.
+func (t *Table) PolicyOf() Policy { return t.policy }
+
+// Size returns total entry capacity.
+func (t *Table) Size() int { return t.sets * t.ways }
+
+// hash indexes by operation, immediate, and first input mapping.
+func (t *Table) hash(op isa.Op, imm int32, in1 renamer.Mapping) int {
+	h := uint64(op)*0x9e3779b97f4a7c15 ^
+		uint64(uint32(imm))*0xc2b2ae3d27d4eb4f ^
+		uint64(in1.P)*0x165667b19e3779f9 ^
+		uint64(uint32(in1.D))*0x27d4eb2f165667c5
+	h ^= h >> 29
+	return int(h % uint64(t.sets))
+}
+
+// Covers reports whether the policy admits tuples for this instruction
+// class (for lookups and inserts alike).
+func (t *Table) Covers(in isa.Inst) bool {
+	switch isa.ClassOf(in) {
+	case isa.ClassLoad, isa.ClassStore:
+		return true
+	case isa.ClassIntALU:
+		return t.policy == PolicyFull
+	default:
+		return false
+	}
+}
+
+// Lookup probes for a tuple matching the renamed operation. It counts one
+// IT access. On a hit the matched output mapping and the entry's value
+// oracle are returned.
+func (t *Table) Lookup(op isa.Op, imm int32, in1, in2 renamer.Mapping) (out renamer.Mapping, value uint64, hit bool) {
+	out, value, _, hit = t.LookupRev(op, imm, in1, in2)
+	return out, value, hit
+}
+
+// LookupRev is Lookup plus the reverse-tuple flag, so callers can classify
+// a hit as CSE (forward) versus speculative memory bypassing (reverse).
+func (t *Table) LookupRev(op isa.Op, imm int32, in1, in2 renamer.Mapping) (out renamer.Mapping, value uint64, reverse, hit bool) {
+	t.Lookups++
+	set := t.hash(op, imm, in1)
+	for w := range t.entries[set] {
+		e := &t.entries[set][w]
+		if e.Valid && e.Op == op && e.Imm == imm && e.In1 == in1 && e.In2 == in2 {
+			t.Hits++
+			t.tick++
+			e.age = t.tick
+			return e.Out, e.Value, e.Reverse, true
+		}
+	}
+	return renamer.Mapping{}, 0, false, false
+}
+
+// Insert installs a tuple, evicting LRU within the set. Duplicate tuples
+// (same signature) are refreshed in place.
+func (t *Table) Insert(e Entry) {
+	t.Inserts++
+	set := t.hash(e.Op, e.Imm, e.In1)
+	t.tick++
+	e.Valid = true
+	e.age = t.tick
+	// Refresh an existing identical signature.
+	for w := range t.entries[set] {
+		old := &t.entries[set][w]
+		if old.Valid && old.Op == e.Op && old.Imm == e.Imm && old.In1 == e.In1 && old.In2 == e.In2 {
+			*old = e
+			return
+		}
+	}
+	victim, oldest := 0, ^uint64(0)
+	for w := range t.entries[set] {
+		if !t.entries[set][w].Valid {
+			victim = w
+			break
+		}
+		if t.entries[set][w].age < oldest {
+			victim, oldest = w, t.entries[set][w].age
+		}
+	}
+	t.entries[set][victim] = e
+}
+
+// InvalidatePhys removes every tuple that mentions physical register p as
+// an input or output. Called when p is reclaimed (its count reaches zero):
+// a recycled register no longer holds the value the tuple describes.
+//
+// Hardware implementations perform this lazily via the integration test;
+// the eager scan here is behaviourally equivalent and simpler to audit.
+func (t *Table) InvalidatePhys(p int) {
+	for s := range t.entries {
+		for w := range t.entries[s] {
+			e := &t.entries[s][w]
+			if e.Valid && (e.In1.P == p || e.In2.P == p || e.Out.P == p) {
+				e.Valid = false
+				t.Invalids++
+			}
+		}
+	}
+}
+
+// InvalidateSignature removes a specific tuple (used when load re-execution
+// detects a stale bypass so the same entry does not mis-integrate again).
+func (t *Table) InvalidateSignature(op isa.Op, imm int32, in1, in2 renamer.Mapping) {
+	set := t.hash(op, imm, in1)
+	for w := range t.entries[set] {
+		e := &t.entries[set][w]
+		if e.Valid && e.Op == op && e.Imm == imm && e.In1 == in1 && e.In2 == in2 {
+			e.Valid = false
+			t.Invalids++
+		}
+	}
+}
+
+// Reset clears the table and statistics.
+func (t *Table) Reset() {
+	for s := range t.entries {
+		for w := range t.entries[s] {
+			t.entries[s][w] = Entry{}
+		}
+	}
+	t.tick = 0
+	t.Lookups, t.Hits, t.Inserts, t.Invalids = 0, 0, 0, 0
+}
+
+// Occupancy returns the number of valid entries (tests and stats).
+func (t *Table) Occupancy() int {
+	n := 0
+	for s := range t.entries {
+		for w := range t.entries[s] {
+			if t.entries[s][w].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,163 @@
+// Package pipeline implements the cycle-level dynamically scheduled
+// superscalar processor model of Section 4.1, with RENO integrated into its
+// two-stage rename pipeline.
+//
+// The model is trace-driven: the functional emulator supplies the committed
+// dynamic instruction stream (with resolved branch outcomes, addresses, and
+// values), and the pipeline times it. Branch mispredictions charge the
+// front-end redirect; memory-ordering violations and failed retirement
+// re-executions of integrated loads squash and replay in-flight work,
+// exercising RENO's rollback machinery. Wrong-path instructions do not
+// occupy resources (the standard fidelity compromise of trace-driven
+// simulation; see DESIGN.md §5).
+//
+// Pipeline shape (13 stages, Section 4.1): 1 branch predict, 2 instruction
+// cache, 1 decode, 2 rename, 1 dispatch, 1 schedule, 2 register read,
+// 1 execute, 1 complete, 1 retire.
+package pipeline
+
+import (
+	"reno/internal/reno"
+)
+
+// Config sizes the simulated core.
+type Config struct {
+	Name string
+
+	FetchWidth  int
+	RenameWidth int
+	CommitWidth int
+
+	// IssueTotal bounds instructions issued per cycle; the per-class
+	// limits model functional unit and port counts.
+	IssueTotal int
+	IntALUs    int
+	FPUnits    int
+	LoadPorts  int
+	StorePorts int
+
+	IQSize  int
+	ROBSize int
+	LQSize  int
+	SQSize  int
+
+	// SchedLoop is the wakeup-select loop latency (Section 4.5 / Figure
+	// 12): 1 allows back-to-back dependent single-cycle ops; 2 makes every
+	// single-cycle op look like a 2-cycle op to its dependents.
+	SchedLoop int
+
+	// RetireQueue is the depth (in cycles of backlog) of the store/
+	// re-execution retirement queue. Stores and integrated-load
+	// re-executions book the data cache's store-retirement port through
+	// this queue; commit stalls only when the backlog exceeds the queue
+	// (the paper's "dependence-free" pre-retirement re-execution has low
+	// impact precisely because it is decoupled this way, §2.2).
+	RetireQueue int
+
+	// FrontLat is the fetch-to-rename pipe depth (bpred + I$ + decode).
+	FrontLat int
+	// RedirectPenalty is the branch-misprediction refetch penalty beyond
+	// branch resolution.
+	RedirectPenalty int
+
+	// Latencies by operation group.
+	IntLat, MulLat, DivLat, FPLat, BranchLat int
+
+	Reno reno.Config
+
+	// MaxInsts bounds the simulated instruction count (0 = run to halt).
+	MaxInsts uint64
+	// SkipInsts fast-forwards functionally before timing starts (warmup).
+	SkipInsts uint64
+}
+
+// FourWide returns the paper's baseline 4-wide machine: 4-wide
+// fetch/issue/commit; up to 3 integer ops, 1 FP op, 1 load, and 1 store
+// issued per cycle; 128-entry ROB, 48-entry load buffer, 24-entry store
+// buffer, 50-entry issue queue, 160 physical registers.
+func FourWide(rc reno.Config) Config {
+	if rc.PhysRegs == 0 {
+		rc.PhysRegs = 160
+	}
+	return Config{
+		Name:            "4-wide",
+		FetchWidth:      4,
+		RenameWidth:     4,
+		CommitWidth:     4,
+		IssueTotal:      4,
+		IntALUs:         3,
+		FPUnits:         1,
+		LoadPorts:       1,
+		StorePorts:      1,
+		IQSize:          50,
+		ROBSize:         128,
+		LQSize:          48,
+		SQSize:          24,
+		RetireQueue:     8,
+		SchedLoop:       1,
+		FrontLat:        4,
+		RedirectPenalty: 8,
+		IntLat:          1,
+		MulLat:          7,
+		DivLat:          20,
+		FPLat:           4,
+		BranchLat:       1,
+		Reno:            rc,
+	}
+}
+
+// SixWide returns the paper's 6-wide configuration: 6-wide
+// fetch/issue/commit issuing up to 4 integer, 2 FP, 2 load, and 1 store
+// operations per cycle.
+func SixWide(rc reno.Config) Config {
+	c := FourWide(rc)
+	c.Name = "6-wide"
+	c.FetchWidth = 6
+	c.RenameWidth = 6
+	c.CommitWidth = 6
+	c.IssueTotal = 6
+	c.IntALUs = 4
+	c.FPUnits = 2
+	c.LoadPorts = 2
+	c.StorePorts = 1
+	return c
+}
+
+// WithIssue returns c narrowed to the given integer-ALU count and total
+// issue width (the Figure 11 "i2t2 / i2t3 / i3t4" sweep).
+func (c Config) WithIssue(intALUs, total int) Config {
+	c.IntALUs = intALUs
+	c.IssueTotal = total
+	c.Name = c.Name + "-i" + itoa(intALUs) + "t" + itoa(total)
+	return c
+}
+
+// WithPhysRegs returns c with a different physical register file size
+// (the Figure 11 register sweep).
+func (c Config) WithPhysRegs(n int) Config {
+	c.Reno.PhysRegs = n
+	c.Name = c.Name + "-p" + itoa(n)
+	return c
+}
+
+// WithSchedLoop returns c with the given wakeup-select loop latency
+// (Figure 12).
+func (c Config) WithSchedLoop(n int) Config {
+	c.SchedLoop = n
+	c.Name = c.Name + "-s" + itoa(n)
+	return c
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

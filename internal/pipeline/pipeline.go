@@ -1,0 +1,881 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"reno/internal/bpred"
+	"reno/internal/cache"
+	"reno/internal/cpa"
+	"reno/internal/emu"
+	"reno/internal/isa"
+	"reno/internal/reno"
+	"reno/internal/storesets"
+)
+
+// never marks a not-yet-known event time / absent sequence number.
+const never = ^uint64(0)
+
+// entry states.
+const (
+	stFetched uint8 = iota // in the fetch queue, pre-rename
+	stWaiting              // renamed, in the issue queue
+	stIssued               // executing/executed (complete when CompC <= now);
+	//                        eliminated instructions enter this state at rename
+)
+
+type entry struct {
+	dyn emu.Dyn
+	ren reno.Renamed
+	seq uint64
+
+	fetchC  uint64
+	renameC uint64
+	issueC  uint64
+	compC   uint64
+
+	state   uint8
+	inIQ    bool
+	isLoad  bool
+	isStore bool
+
+	// Store bookkeeping.
+	addrDone bool
+	dataP    int // store data physical register
+
+	// Load bookkeeping.
+	forwarded    bool
+	fwdStore     uint64 // seq of the forwarding store
+	ssConstraint uint64 // seq of the store-set constraining store
+	hasSS        bool
+	memLevel     cpa.Bucket // BLoad or BMem
+
+	mispredicted bool
+	replayed     bool
+
+	// CPA constraint provenance.
+	fetchBound    cpa.BoundKind
+	fetchBoundSeq uint64
+	issueBound    cpa.BoundKind
+	issueBoundSeq uint64
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Config Config
+
+	Cycles uint64
+	Insts  uint64 // committed instructions
+	IPC    float64
+
+	Reno reno.Stats
+
+	// Elimination percentages (of committed instructions), stacked as in
+	// Figure 8: moves, folded additions, eliminated loads, integrated ALU.
+	ElimME, ElimCF, ElimLoads, ElimALU float64
+	ElimTotal                          float64
+
+	BranchAccuracy float64
+	Mispredicts    uint64
+
+	L1DMissRate float64
+	L2MissRate  float64
+
+	OrderViolations uint64
+	ReexecFails     uint64
+	Replays         uint64
+
+	// Resource telemetry.
+	MaxPregsUsed       int
+	AvgIQOcc           float64
+	AvgPregsInUse      float64
+	StorePortConflicts uint64
+	FetchStallCycles   uint64
+	RenameStallPregs   uint64
+
+	// IT telemetry (E9).
+	ITLookups, ITInserts, ITHits uint64
+
+	// Critical path breakdown (nil unless AttachCPA was called).
+	CPA *cpa.Analyzer
+}
+
+// Sim is one pipeline simulation instance.
+type Sim struct {
+	cfg Config
+
+	opt *reno.Optimizer
+	bp  *bpred.Predictor
+	mem *cache.Hierarchy
+	ss  *storesets.Predictor
+
+	src     *stream
+	cycle   uint64
+	seqNext uint64
+
+	rob      []entry
+	robHead  int
+	robCount int
+
+	fq []entry // fetch queue (front end to rename)
+
+	iqUsed int
+	lqUsed int
+	sqUsed int
+
+	wakeAt    []uint64 // per preg: cycle its value can feed a dependent's issue
+	writerSeq []uint64 // per preg: seq of the producing instruction
+
+	committed    uint64
+	lastCommitC  uint64
+	portFreeAt   uint64 // store-retirement port booking (stores)
+	reexecFreeAt uint64 // integrated-load re-execution booking (load-port bandwidth)
+
+	// Front-end control.
+	redirectUntil uint64
+	blockingSeq   uint64 // seq of the unresolved mispredicted branch (never if none)
+	// pendingCause tags the first instruction fetched after a redirect
+	// with the constraint that caused it (CPA edge).
+	pendingCauseKind cpa.BoundKind
+	pendingCauseSeq  uint64
+	lastFetchC       uint64
+
+	// Window backpressure provenance: when rename stalls on a full
+	// resource, the in-flight instruction whose progress will relieve it
+	// is recorded so fetched instructions delayed by the resulting
+	// fetch-queue backpressure carry the right critical-path edge.
+	windowBlockSeq uint64
+	windowBlocked  bool
+	fqWasFull      bool
+
+	analyzer *cpa.Analyzer
+	res      Result
+
+	iqOccSum, pregSum uint64
+}
+
+// New builds a simulator for the given configuration over the dynamic
+// instruction stream produced by next (which returns false when exhausted).
+func New(cfg Config, next func() (emu.Dyn, bool)) *Sim {
+	s := &Sim{
+		cfg: cfg,
+		opt: reno.New(cfg.Reno),
+		bp:  bpred.New(bpred.Default()),
+		mem: cache.DefaultHierarchy(),
+		ss:  storesets.New(12, 64),
+		src: &stream{next: next},
+	}
+	s.rob = make([]entry, cfg.ROBSize)
+	s.wakeAt = make([]uint64, cfg.Reno.PhysRegs)
+	s.writerSeq = make([]uint64, cfg.Reno.PhysRegs)
+	s.blockingSeq = never
+	s.res.Config = cfg
+	return s
+}
+
+// AttachCPA enables critical-path analysis with the given chunk size.
+func (s *Sim) AttachCPA(chunk int) { s.analyzer = cpa.New(chunk) }
+
+// Optimizer exposes the RENO optimizer (tests).
+func (s *Sim) Optimizer() *reno.Optimizer { return s.opt }
+
+// stream feeds dynamic instructions with pushback for squash replay.
+type stream struct {
+	next   func() (emu.Dyn, bool)
+	replay []emu.Dyn // stack: last element delivered first
+	done   bool
+}
+
+func (st *stream) pull() (d emu.Dyn, replayed, ok bool) {
+	if n := len(st.replay); n > 0 {
+		d := st.replay[n-1]
+		st.replay = st.replay[:n-1]
+		return d, true, true
+	}
+	if st.done {
+		return emu.Dyn{}, false, false
+	}
+	d, ok = st.next()
+	if !ok {
+		st.done = true
+	}
+	return d, false, ok
+}
+
+func (st *stream) pushFront(ds []emu.Dyn) {
+	for i := len(ds) - 1; i >= 0; i-- {
+		st.replay = append(st.replay, ds[i])
+	}
+}
+
+func (st *stream) exhausted() bool { return st.done && len(st.replay) == 0 }
+
+// Run simulates until the stream drains (or MaxInsts commit) and returns
+// the result.
+func (s *Sim) Run() (*Result, error) {
+	for {
+		if s.src.exhausted() && s.robCount == 0 && len(s.fq) == 0 {
+			break
+		}
+		if s.cfg.MaxInsts > 0 && s.committed >= s.cfg.MaxInsts {
+			break
+		}
+		s.commitStage()
+		s.issueStage()
+		s.renameStage()
+		s.fetchStage()
+		s.iqOccSum += uint64(s.iqUsed)
+		s.pregSum += uint64(s.opt.RefCounts().InUse())
+		s.cycle++
+		if s.cycle > (s.committed+1_000_000)*100 {
+			return nil, fmt.Errorf("pipeline %s: no forward progress at cycle %d (%d committed)",
+				s.cfg.Name, s.cycle, s.committed)
+		}
+	}
+	return s.finish(), nil
+}
+
+func (s *Sim) finish() *Result {
+	r := &s.res
+	r.Cycles = s.cycle
+	r.Insts = s.committed
+	if s.cycle > 0 {
+		r.IPC = float64(s.committed) / float64(s.cycle)
+		r.AvgIQOcc = float64(s.iqOccSum) / float64(s.cycle)
+		r.AvgPregsInUse = float64(s.pregSum) / float64(s.cycle)
+	}
+	r.Reno = s.opt.Stats
+	if s.committed > 0 {
+		n := float64(s.committed)
+		r.ElimME = 100 * float64(r.Reno.Eliminated[reno.KindME]) / n
+		r.ElimCF = 100 * float64(r.Reno.Eliminated[reno.KindCF]) / n
+		r.ElimLoads = 100 * float64(r.Reno.Eliminated[reno.KindCSELoad]+r.Reno.Eliminated[reno.KindRALoad]) / n
+		r.ElimALU = 100 * float64(r.Reno.Eliminated[reno.KindCSEALU]) / n
+		r.ElimTotal = r.ElimME + r.ElimCF + r.ElimLoads + r.ElimALU
+	}
+	r.BranchAccuracy = s.bp.Accuracy()
+	r.L1DMissRate = s.mem.L1D.MissRate()
+	r.L2MissRate = s.mem.L2.MissRate()
+	r.MaxPregsUsed = s.opt.RefCounts().MaxInUse
+	if it := s.opt.IT(); it != nil {
+		r.ITLookups, r.ITInserts, r.ITHits = it.Lookups, it.Inserts, it.Hits
+	}
+	if s.analyzer != nil {
+		s.analyzer.Flush()
+		r.CPA = s.analyzer
+	}
+	return r
+}
+
+// robPos returns the entry at offset off from the ROB head (0 = oldest).
+func (s *Sim) robPos(off int) *entry { return &s.rob[(s.robHead+off)%len(s.rob)] }
+
+// ---------------------------------------------------------------- commit
+
+func (s *Sim) commitStage() {
+	// bookPort reserves a slot on a retirement-side cache port through the
+	// decoupled retirement queue; it fails only when the backlog exceeds
+	// the queue depth. Stores use the store-retirement port; integrated
+	// load re-executions use the load-port bandwidth their elimination
+	// vacated (a capacity-neutral reading of the paper's re-execution
+	// scheme — see DESIGN.md §5).
+	bookPort := func(freeAt *uint64, ports int) bool {
+		limit := s.cycle + uint64(s.cfg.RetireQueue)*uint64(ports)
+		if *freeAt > limit {
+			s.res.StorePortConflicts++
+			return false
+		}
+		slot := *freeAt
+		if slot < s.cycle {
+			slot = s.cycle
+		}
+		*freeAt = slot + uint64(1) // one port op per port-cycle
+		return true
+	}
+	for k := 0; k < s.cfg.CommitWidth && s.robCount > 0; k++ {
+		e := s.robPos(0)
+		if e.state != stIssued || e.compC > s.cycle {
+			return
+		}
+		if e.isStore {
+			// Data must have arrived and the retirement queue must accept.
+			if w := s.wakeAt[e.dataP]; w == never || w > s.cycle {
+				return
+			}
+			if !bookPort(&s.portFreeAt, s.cfg.StorePorts) {
+				return
+			}
+			s.mem.AccessD(e.dyn.EA*8, s.cycle, true)
+			s.ss.NoteStoreRetired(e.dyn.PC, uint32(e.seq))
+		}
+		if e.ren.Reexec {
+			// Integrated load: re-execute on the store retirement port
+			// (Section 2.2: "dependence-free" re-execution, decoupled
+			// through the retirement queue).
+			if !bookPort(&s.reexecFreeAt, s.cfg.LoadPorts) {
+				return
+			}
+			s.mem.AccessD(e.dyn.EA*8, s.cycle, false)
+			if e.ren.ExpectVal != e.dyn.Result {
+				// Stale bypass: drop the tuple, squash this load and all
+				// younger work, replay.
+				s.res.ReexecFails++
+				s.opt.ReexecMismatch(&e.ren)
+				s.squashFrom(0, e.seq)
+				return
+			}
+		}
+		s.trainBranch(e)
+		s.opt.Commit(&e.ren)
+
+		if s.analyzer != nil {
+			bound := cpa.BoundCompletion
+			if e.compC < s.lastCommitC {
+				bound = cpa.BoundPrevCommit
+			}
+			s.analyzer.Add(cpa.Record{
+				Seq:    e.seq,
+				FetchC: e.fetchC, IssueC: e.issueC, CompC: e.compC, CommitC: s.cycle,
+				ExecBucket: s.execBucket(e),
+				Eliminated: e.ren.Elim,
+				IssueBound: e.issueBound, IssueBoundSeq: e.issueBoundSeq,
+				FetchBound: e.fetchBound, FetchBoundSeq: e.fetchBoundSeq,
+				CommitBound: bound,
+			})
+		}
+		s.lastCommitC = s.cycle
+		if e.isLoad {
+			s.lqUsed--
+		}
+		if e.isStore {
+			s.sqUsed--
+		}
+		s.robHead = (s.robHead + 1) % len(s.rob)
+		s.robCount--
+		s.committed++
+	}
+}
+
+func (s *Sim) trainBranch(e *entry) {
+	switch isa.ClassOf(e.dyn.Inst) {
+	case isa.ClassBranch:
+		switch e.dyn.Inst.Op {
+		case isa.OpJmp:
+			// Direct unconditional: always predicted exactly.
+		case isa.OpJr:
+			s.bp.UpdateTarget(e.dyn.PC, e.dyn.NextPC)
+		default:
+			s.bp.UpdateDir(e.dyn.PC, e.dyn.Taken)
+			if e.dyn.Taken {
+				s.bp.UpdateTarget(e.dyn.PC, e.dyn.NextPC)
+			}
+		}
+	case isa.ClassCall:
+		if e.dyn.Inst.Op == isa.OpJalr {
+			s.bp.UpdateTarget(e.dyn.PC, e.dyn.NextPC)
+		}
+	case isa.ClassReturn:
+		s.bp.NoteRASOutcome(!e.mispredicted)
+	}
+}
+
+func (s *Sim) execBucket(e *entry) cpa.Bucket {
+	if e.isLoad {
+		return e.memLevel
+	}
+	return cpa.BALU
+}
+
+// ---------------------------------------------------------------- issue
+
+func (s *Sim) issueStage() {
+	total := s.cfg.IssueTotal
+	ints := s.cfg.IntALUs
+	fps := s.cfg.FPUnits
+	lds := s.cfg.LoadPorts
+	sts := s.cfg.StorePorts
+
+	for off := 0; off < s.robCount && total > 0; off++ {
+		e := s.robPos(off)
+		if e.state != stWaiting {
+			continue
+		}
+		cls := isa.ClassOf(e.dyn.Inst)
+		switch cls {
+		case isa.ClassLoad:
+			if lds == 0 {
+				continue
+			}
+		case isa.ClassStore:
+			if sts == 0 {
+				continue
+			}
+		case isa.ClassFP:
+			if fps == 0 {
+				continue
+			}
+		default:
+			if ints == 0 {
+				continue
+			}
+		}
+		if !s.ready(e, off) {
+			continue
+		}
+
+		e.issueC = s.cycle
+		e.state = stIssued
+		e.compC = s.cycle + uint64(s.execLatency(e))
+
+		if e.isLoad {
+			s.issueLoad(e, off)
+		}
+		if e.isStore {
+			e.addrDone = true
+			if s.checkViolations(e, off) {
+				return // squash invalidated iteration state
+			}
+		}
+		if e.ren.HasDest {
+			w := e.compC
+			if sl := uint64(s.cfg.SchedLoop); w-e.issueC < sl {
+				w = e.issueC + sl
+			}
+			s.wakeAt[e.ren.NewMap.P] = w
+		}
+		if e.mispredicted && s.blockingSeq == e.seq {
+			s.redirectUntil = e.compC + uint64(s.cfg.RedirectPenalty)
+			s.blockingSeq = never
+			s.pendingCauseKind, s.pendingCauseSeq = cpa.BoundMispredict, e.seq
+		}
+		e.inIQ = false
+		s.iqUsed--
+		total--
+		switch cls {
+		case isa.ClassLoad:
+			lds--
+		case isa.ClassStore:
+			sts--
+		case isa.ClassFP:
+			fps--
+		default:
+			ints--
+		}
+	}
+}
+
+// ready decides whether an IQ entry can be selected this cycle and records
+// the last-arriving constraint for the critical-path analyzer.
+func (s *Sim) ready(e *entry, off int) bool {
+	// Stores need only the base-address operand to issue; data merges in
+	// the store queue later.
+	nsrc := e.ren.NSrc
+	if e.isStore {
+		nsrc = 1
+	}
+	var opWake uint64
+	opSrc := -1
+	for i := 0; i < nsrc; i++ {
+		p := e.ren.Src[i].P
+		w := s.wakeAt[p]
+		if w == never || w > s.cycle {
+			e.issueBound = cpa.BoundProducer
+			e.issueBoundSeq = s.writerSeq[p]
+			return false
+		}
+		if w > opWake {
+			opWake, opSrc = w, i
+		}
+	}
+
+	if e.isLoad {
+		// Store-set constraint: wait until the flagged store has resolved
+		// its address.
+		if e.hasSS {
+			if idx, found := s.findOlder(e.ssConstraint, off); found {
+				se := s.robPos(idx)
+				if !se.addrDone {
+					e.issueBound = cpa.BoundProducer
+					e.issueBoundSeq = se.seq
+					return false
+				}
+			}
+		}
+		// An older same-address store with a resolved address but unready
+		// data blocks the load until it can forward.
+		if idx, blocked := s.forwardBlocker(e, off); blocked {
+			e.issueBound = cpa.BoundProducer
+			e.issueBoundSeq = s.robPos(idx).seq
+			return false
+		}
+	}
+
+	// Ready: classify the wait.
+	earliest := e.renameC + 1
+	switch {
+	case opWake > earliest:
+		e.issueBound = cpa.BoundProducer
+		if opSrc >= 0 {
+			e.issueBoundSeq = s.writerSeq[e.ren.Src[opSrc].P]
+		}
+		if s.cycle > opWake {
+			e.issueBound = cpa.BoundResource
+		}
+	case s.cycle > earliest:
+		e.issueBound = cpa.BoundResource
+	default:
+		e.issueBound = cpa.BoundFrontend
+	}
+	return true
+}
+
+// execLatency returns issue-to-result latency including fusion penalties
+// from the RENO.CF cost model.
+func (s *Sim) execLatency(e *entry) int {
+	pen := e.ren.FusePenalty
+	switch isa.ClassOf(e.dyn.Inst) {
+	case isa.ClassIntMul:
+		if e.dyn.Inst.Op == isa.OpDiv {
+			return s.cfg.DivLat + pen
+		}
+		return s.cfg.MulLat + pen
+	case isa.ClassFP:
+		return s.cfg.FPLat + pen
+	case isa.ClassLoad, isa.ClassStore:
+		return 1 + pen // address generation; issueLoad refines loads
+	case isa.ClassBranch, isa.ClassCall, isa.ClassReturn:
+		return s.cfg.BranchLat + pen
+	case isa.ClassNop, isa.ClassHalt:
+		return 1
+	}
+	return s.cfg.IntLat + pen
+}
+
+// issueLoad resolves a load's completion: store-queue forwarding when an
+// older same-address store has its data, else the cache hierarchy.
+func (s *Sim) issueLoad(e *entry, off int) {
+	addrReady := e.compC
+	for i := off - 1; i >= 0; i-- {
+		se := s.robPos(i)
+		if !se.isStore || !se.addrDone || se.dyn.EA != e.dyn.EA {
+			continue
+		}
+		if w := s.wakeAt[se.dataP]; w != never && w <= s.cycle {
+			e.forwarded = true
+			e.fwdStore = se.seq
+			e.compC = addrReady + 1
+			e.memLevel = cpa.BLoad
+			return
+		}
+		break
+	}
+	memBefore := s.mem.MemAccesses
+	e.compC = s.mem.AccessD(e.dyn.EA*8, addrReady, false)
+	if s.mem.MemAccesses > memBefore {
+		e.memLevel = cpa.BMem
+	} else {
+		e.memLevel = cpa.BLoad
+	}
+}
+
+// forwardBlocker finds the youngest older address-resolved same-address
+// store whose data is not ready yet.
+func (s *Sim) forwardBlocker(e *entry, off int) (int, bool) {
+	for i := off - 1; i >= 0; i-- {
+		se := s.robPos(i)
+		if !se.isStore || !se.addrDone || se.dyn.EA != e.dyn.EA {
+			continue
+		}
+		if w := s.wakeAt[se.dataP]; w == never || w > s.cycle {
+			return i, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// checkViolations runs when a store resolves its address: a younger
+// same-address load that already issued without forwarding from this store
+// (or a younger one) read stale data. Reports whether a squash happened.
+func (s *Sim) checkViolations(st *entry, stOff int) bool {
+	for i := stOff + 1; i < s.robCount; i++ {
+		le := s.robPos(i)
+		if !le.isLoad || le.state != stIssued || le.ren.Elim {
+			continue
+		}
+		if le.dyn.EA != st.dyn.EA {
+			continue
+		}
+		if le.forwarded && le.fwdStore >= st.seq {
+			continue
+		}
+		s.res.OrderViolations++
+		s.ss.Violation(le.dyn.PC, st.dyn.PC)
+		s.squashFrom(i, st.seq)
+		return true
+	}
+	return false
+}
+
+// findOlder locates the ROB offset of seq among entries older than limitOff.
+func (s *Sim) findOlder(seq uint64, limitOff int) (int, bool) {
+	for i := limitOff - 1; i >= 0; i-- {
+		e := s.robPos(i)
+		if e.seq == seq {
+			return i, true
+		}
+		if e.seq < seq {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// squashFrom rolls back ROB offsets [from, robCount) youngest-first —
+// exercising RENO's rollback semantics — and replays them through fetch.
+// causeSeq identifies the resolving instruction for CPA accounting.
+func (s *Sim) squashFrom(from int, causeSeq uint64) {
+	n := s.robCount - from
+	if n <= 0 {
+		return
+	}
+	s.res.Replays++
+	minSeq := s.robPos(from).seq
+	replay := make([]emu.Dyn, 0, n+len(s.fq))
+	for i := from; i < s.robCount; i++ {
+		replay = append(replay, s.robPos(i).dyn)
+	}
+	// The fetch queue holds even younger un-renamed instructions; they
+	// replay too (they were fetched down a path now being refetched).
+	for i := range s.fq {
+		replay = append(replay, s.fq[i].dyn)
+	}
+	s.fq = s.fq[:0]
+
+	for i := s.robCount - 1; i >= from; i-- {
+		e := s.robPos(i)
+		s.opt.Squash(&e.ren)
+		if e.inIQ {
+			s.iqUsed--
+		}
+		if e.isLoad {
+			s.lqUsed--
+		}
+		if e.isStore {
+			s.sqUsed--
+		}
+	}
+	s.robCount = from
+
+	s.ss.Squash(func(tag uint32) bool { return uint64(tag) >= minSeq })
+	s.src.pushFront(replay)
+	s.redirectUntil = s.cycle + uint64(s.cfg.RedirectPenalty)
+	s.pendingCauseKind, s.pendingCauseSeq = cpa.BoundReplay, causeSeq
+	if s.blockingSeq != never && s.blockingSeq >= minSeq {
+		s.blockingSeq = never
+	}
+}
+
+// ---------------------------------------------------------------- rename
+
+func (s *Sim) renameStage() {
+	width := s.cfg.RenameWidth
+	group := make([]reno.GroupInst, 0, width)
+	iqLeft := s.cfg.IQSize - s.iqUsed
+	lqLeft := s.cfg.LQSize - s.lqUsed
+	sqLeft := s.cfg.SQSize - s.sqUsed
+	robLeft := len(s.rob) - s.robCount
+
+	s.windowBlocked = false
+	blockOn := func(oldest func(*entry) bool) {
+		s.windowBlocked = true
+		s.windowBlockSeq = s.robPos(0).seq
+		for i := 0; i < s.robCount; i++ {
+			if e := s.robPos(i); oldest(e) {
+				s.windowBlockSeq = e.seq
+				return
+			}
+		}
+	}
+	for len(group) < width && len(group) < len(s.fq) {
+		e := &s.fq[len(group)]
+		if e.fetchC+uint64(s.cfg.FrontLat) > s.cycle {
+			break
+		}
+		// Conservative admission: assume an IQ slot is needed (an
+		// eliminated instruction will simply not consume its slot).
+		if robLeft == 0 {
+			if s.robCount > 0 {
+				blockOn(func(*entry) bool { return true }) // ROB head
+			}
+			break
+		}
+		if iqLeft == 0 {
+			blockOn(func(e *entry) bool { return e.state == stWaiting })
+			break
+		}
+		cls := isa.ClassOf(e.dyn.Inst)
+		if cls == isa.ClassLoad {
+			if lqLeft == 0 {
+				blockOn(func(e *entry) bool { return e.isLoad })
+				break
+			}
+			lqLeft--
+		}
+		if cls == isa.ClassStore {
+			if sqLeft == 0 {
+				blockOn(func(e *entry) bool { return e.isStore })
+				break
+			}
+			sqLeft--
+		}
+		robLeft--
+		iqLeft--
+		result := e.dyn.Result
+		if cls == isa.ClassStore {
+			result = e.dyn.SrcVals[1]
+		}
+		group = append(group, reno.GroupInst{Inst: e.dyn.Inst, Result: result})
+	}
+	if len(group) == 0 {
+		return
+	}
+
+	recs, n := s.opt.RenameGroup(group)
+	if n < len(group) {
+		s.res.RenameStallPregs++
+		if !s.windowBlocked && s.robCount > 0 {
+			// Physical-register exhaustion: the ROB head's commit frees
+			// its displaced register.
+			s.windowBlocked = true
+			s.windowBlockSeq = s.robPos(0).seq
+		}
+	}
+	for i := 0; i < n; i++ {
+		e := &s.fq[i]
+		e.ren = recs[i]
+		e.renameC = s.cycle
+		cls := isa.ClassOf(e.dyn.Inst)
+		e.isLoad = cls == isa.ClassLoad
+		e.isStore = cls == isa.ClassStore
+
+		if e.ren.HasDest && !e.ren.Elim {
+			s.wakeAt[e.ren.NewMap.P] = never
+			s.writerSeq[e.ren.NewMap.P] = e.seq
+		}
+
+		if e.ren.Elim {
+			// Collapsed out of the execution core: no IQ entry, no issue,
+			// no execution. Consumers wake on the shared register's
+			// original producer (wakeAt untouched): the dataflow collapse.
+			e.state = stIssued
+			e.issueC = s.cycle
+			e.compC = s.cycle
+		} else {
+			e.state = stWaiting
+			e.inIQ = true
+			s.iqUsed++
+		}
+
+		if e.isLoad {
+			s.lqUsed++
+			if tag, constrained := s.ss.LookupLoad(e.dyn.PC); constrained {
+				e.hasSS = true
+				e.ssConstraint = uint64(tag)
+			}
+		}
+		if e.isStore {
+			s.sqUsed++
+			e.dataP = e.ren.Src[1].P
+			s.ss.NoteStoreFetched(e.dyn.PC, uint32(e.seq))
+		}
+
+		*s.robPos(s.robCount) = *e
+		s.robCount++
+	}
+	s.fq = s.fq[n:]
+	if len(s.fq) == 0 {
+		s.fq = nil
+	}
+}
+
+// ---------------------------------------------------------------- fetch
+
+// fqCap is the fetch buffer capacity between fetch and rename.
+const fqCap = 32
+
+func (s *Sim) fetchStage() {
+	if s.cycle < s.redirectUntil {
+		s.res.FetchStallCycles++
+		return
+	}
+	if s.blockingSeq != never {
+		s.res.FetchStallCycles++
+		return // an unresolved mispredicted branch blocks the front end
+	}
+	takenSeen := 0
+	lastBlock := never
+	groupReady := s.cycle
+	for w := 0; w < s.cfg.FetchWidth; w++ {
+		if len(s.fq) >= fqCap {
+			s.fqWasFull = true
+			break
+		}
+		d, replayed, ok := s.src.pull()
+		if !ok {
+			break
+		}
+		// One I$ access per new 32-byte block.
+		if blk := d.PC / 8; blk != lastBlock {
+			lastBlock = blk
+			done := s.mem.AccessI(d.PC*4, s.cycle)
+			if avail := done - 1; avail > groupReady {
+				groupReady = avail
+			}
+		}
+		fetchC := groupReady
+		if fetchC < s.lastFetchC {
+			fetchC = s.lastFetchC
+		}
+		s.lastFetchC = fetchC
+
+		e := entry{
+			dyn: d, state: stFetched, seq: s.seqNext,
+			fetchC: fetchC, compC: never, replayed: replayed,
+			fetchBound: cpa.BoundPrevFetch,
+		}
+		s.seqNext++
+		if s.pendingCauseKind != cpa.BoundNone {
+			e.fetchBound, e.fetchBoundSeq = s.pendingCauseKind, s.pendingCauseSeq
+			s.pendingCauseKind, s.pendingCauseSeq = cpa.BoundNone, 0
+		} else if s.fqWasFull && s.windowBlocked {
+			// The front end was recently backpressured by a full window
+			// resource; charge this fetch to that stall's reliever.
+			e.fetchBound, e.fetchBoundSeq = cpa.BoundWindow, s.windowBlockSeq
+			s.fqWasFull = false
+		}
+
+		cls := isa.ClassOf(d.Inst)
+		isCT := cls == isa.ClassBranch || cls == isa.ClassCall || cls == isa.ClassReturn
+		if isCT && !replayed {
+			// Replayed instructions re-fetch down a known-correct path;
+			// re-predicting them would double-count mispredictions and
+			// corrupt the RAS.
+			pred := s.bp.Predict(d.PC, d.Inst)
+			if pred != d.NextPC {
+				e.mispredicted = true
+				s.res.Mispredicts++
+			}
+		}
+		s.fq = append(s.fq, e)
+		if e.mispredicted {
+			s.blockingSeq = e.seq
+			break
+		}
+		if isCT && d.Taken {
+			takenSeen++
+			if takenSeen >= 2 {
+				break // may fetch past only one taken branch per cycle
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"reno/internal/emu"
+	"reno/internal/isa"
+)
+
+// RunProgram times a program on the given configuration. The first warmup
+// dynamic instructions execute functionally only (the paper's
+// sampling-warmup methodology); timing then runs until the program halts or
+// maxInsts instructions commit (0 = no limit). The final architectural
+// state hash is returned for cross-configuration equivalence checks.
+func RunProgram(cfg Config, code []isa.Inst, warmup, maxInsts uint64) (*Result, uint64, error) {
+	return runProgram(cfg, code, warmup, maxInsts, 0)
+}
+
+// RunProgramCPA is RunProgram with critical-path analysis attached.
+func RunProgramCPA(cfg Config, code []isa.Inst, warmup, maxInsts uint64, chunk int) (*Result, uint64, error) {
+	return runProgram(cfg, code, warmup, maxInsts, chunk)
+}
+
+func runProgram(cfg Config, code []isa.Inst, warmup, maxInsts uint64, cpaChunk int) (*Result, uint64, error) {
+	m := emu.New(code)
+	for m.ICount < warmup && !m.Halted {
+		if _, err := m.Step(); err != nil {
+			return nil, 0, fmt.Errorf("pipeline warmup: %w", err)
+		}
+	}
+	cfg.MaxInsts = maxInsts
+	var ferr error
+	s := New(cfg, func() (emu.Dyn, bool) {
+		if m.Halted || (maxInsts > 0 && m.ICount >= warmup+maxInsts) {
+			return emu.Dyn{}, false
+		}
+		d, err := m.Step()
+		if err != nil {
+			ferr = err
+			return emu.Dyn{}, false
+		}
+		return d, true
+	})
+	if cpaChunk > 0 {
+		s.AttachCPA(cpaChunk)
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, 0, err
+	}
+	if ferr != nil {
+		return nil, 0, fmt.Errorf("pipeline trace feed: %w", ferr)
+	}
+	return res, m.StateHash(), nil
+}

@@ -1,0 +1,167 @@
+// Package refcount implements the physical register reference counting
+// scheme of Section 3.1 of the RENO paper.
+//
+// The design eliminates the explicit free list: a register is free exactly
+// when its reference count is zero. Counts track the number of times a
+// physical register is used as an *output* — mapped by an architectural
+// register in the map table, or held by an in-flight instruction as the
+// previous mapping it will free at commit. Counts do not track input uses.
+//
+// Counters are sized so overflow is impossible: the maximum sharing degree
+// is one mapping per architectural register plus one hold per in-flight
+// instruction (Section 3.1), so a uint16 suffices for any realistic core
+// (32 + ROB size << 65535). Overflow is nevertheless checked and reported
+// so that a misconfigured core fails loudly instead of silently corrupting
+// state.
+package refcount
+
+import "fmt"
+
+// Table is a physical register reference count table.
+//
+// Register 0 is reserved as the hardwired zero register's physical home: it
+// is permanently allocated (count pinned >= 1) and is never returned by
+// Alloc.
+type Table struct {
+	counts []uint16
+	free   int // number of registers with count == 0
+
+	// allocCursor rotates the search start so allocation spreads across the
+	// file the way a circular free list would.
+	allocCursor int
+
+	Allocs   uint64
+	Shares   uint64
+	MaxInUse int
+}
+
+// ZeroReg is the physical register permanently holding zero.
+const ZeroReg = 0
+
+// New creates a table for n physical registers. Register ZeroReg starts
+// with count 1 (pinned); all others are free.
+func New(n int) *Table {
+	if n < 2 {
+		panic(fmt.Sprintf("refcount: need at least 2 physical registers, got %d", n))
+	}
+	t := &Table{counts: make([]uint16, n)}
+	t.counts[ZeroReg] = 1
+	t.free = n - 1
+	t.MaxInUse = 1
+	return t
+}
+
+// Size returns the number of physical registers.
+func (t *Table) Size() int { return len(t.counts) }
+
+// Free returns the number of free (count zero) registers.
+func (t *Table) Free() int { return t.free }
+
+// InUse returns the number of allocated registers.
+func (t *Table) InUse() int { return len(t.counts) - t.free }
+
+// Count returns the reference count of p.
+func (t *Table) Count(p int) int { return int(t.counts[p]) }
+
+// Alloc claims a free physical register with an initial count of 1.
+// ok is false when the file is exhausted (a structural stall upstream).
+func (t *Table) Alloc() (p int, ok bool) {
+	if t.free == 0 {
+		return 0, false
+	}
+	n := len(t.counts)
+	for i := 0; i < n; i++ {
+		c := (t.allocCursor + i) % n
+		if c != ZeroReg && t.counts[c] == 0 {
+			t.counts[c] = 1
+			t.free--
+			t.allocCursor = (c + 1) % n
+			t.Allocs++
+			if u := t.InUse(); u > t.MaxInUse {
+				t.MaxInUse = u
+			}
+			return c, true
+		}
+	}
+	// t.free said there was one; reaching here is a bookkeeping bug.
+	panic("refcount: free count inconsistent with table")
+}
+
+// Inc adds a reference to p: a RENO sharing operation (a second map table
+// entry or an in-flight hold now points at p). The pinned zero register's
+// count is not tracked — it can never be freed, so counting its references
+// would only risk saturation.
+func (t *Table) Inc(p int) {
+	if p == ZeroReg {
+		t.Shares++
+		return
+	}
+	if t.counts[p] == 0 {
+		panic(fmt.Sprintf("refcount: Inc of free register p%d", p))
+	}
+	if t.counts[p] == ^uint16(0) {
+		panic(fmt.Sprintf("refcount: counter overflow on p%d", p))
+	}
+	t.counts[p]++
+	t.Shares++
+}
+
+// Dec removes a reference from p, freeing it when the count reaches zero.
+// The pinned zero register is never freed.
+func (t *Table) Dec(p int) (freed bool) {
+	if p == ZeroReg {
+		return false
+	}
+	if t.counts[p] == 0 {
+		panic(fmt.Sprintf("refcount: Dec of free register p%d", p))
+	}
+	t.counts[p]--
+	if t.counts[p] == 0 {
+		t.free++
+		return true
+	}
+	return false
+}
+
+// Snapshot returns a copy of all counts, for checkpoint-style recovery and
+// for invariant checks in tests.
+func (t *Table) Snapshot() []uint16 {
+	s := make([]uint16, len(t.counts))
+	copy(s, t.counts)
+	return s
+}
+
+// Restore overwrites the table from a snapshot.
+func (t *Table) Restore(s []uint16) {
+	if len(s) != len(t.counts) {
+		panic("refcount: snapshot size mismatch")
+	}
+	copy(t.counts, s)
+	t.free = 0
+	for p, c := range t.counts {
+		if p != ZeroReg && c == 0 {
+			t.free++
+		}
+	}
+}
+
+// CheckInvariant verifies that free matches the count array; tests use it
+// after randomized operation sequences.
+func (t *Table) CheckInvariant() error {
+	free := 0
+	for p, c := range t.counts {
+		if p == ZeroReg {
+			if c == 0 {
+				return fmt.Errorf("refcount: zero register unpinned")
+			}
+			continue
+		}
+		if c == 0 {
+			free++
+		}
+	}
+	if free != t.free {
+		return fmt.Errorf("refcount: free=%d but table says %d", t.free, free)
+	}
+	return nil
+}

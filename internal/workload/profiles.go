@@ -1,0 +1,357 @@
+package workload
+
+// Per-benchmark profiles. Kernel mixes are tuned so that the dynamic
+// instruction composition of each program lands in the band the paper
+// reports for its namesake (Figure 8 and the Section 4.2 commentary):
+//
+//   - moves: ~4% average, higher in mcf and mesa;
+//   - register-immediate additions: >=10% everywhere except crafty,
+//     vpr.place, and mcf; 23% in mpeg2.decode; 12% SPEC / 16% MediaBench
+//     averages;
+//   - SPECint is load/memory-critical, MediaBench ALU-critical (Figure 9);
+//   - vortex is store/commit-bound; gap and parser have large memory
+//     components; perl and vortex are call-heavy (RA opportunities).
+//
+// OuterIters values put each benchmark's dynamic length near ~120k
+// instructions at scale 1.0; the harness scales them.
+
+// SPECint returns the 16 SPECint2000 program profiles used in the paper's
+// figures (eon and perl and vpr appear with multiple inputs).
+func SPECint() []Profile {
+	return []Profile{
+		{
+			Name: "bzip2", Suite: "SPECint", Seed: 101, OuterIters: 40,
+			Kernels: []KernelWeight{
+				{KArraySweep, 40}, {KBitops, 30}, {KBranchy, 30}, {KRedundant, 10},
+			},
+			MoveDensity: 0.35, Mem: 12000, AddrOffsets: 1, Unroll: 2, BranchEntropy: 0.4,
+			CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "crafty", Suite: "SPECint", Seed: 102, OuterIters: 40,
+			// Chess: bitboards -> shifts/logicals, unpredictable branches,
+			// few reg-imm adds (paper: <10%).
+			Kernels: []KernelWeight{
+				{KBitops, 60}, {KBranchy, 50}, {KCallTree, 6}, {KRedundant, 8},
+			},
+			MoveDensity: 0.45, LowAddi: true, Mem: 4000, AddrOffsets: 0, Unroll: 1,
+			BranchEntropy: 0.8, CallDepth: 3, SpillRegs: 3,
+		},
+		{
+			Name: "eon.c", Suite: "SPECint", Seed: 103, OuterIters: 36,
+			Kernels: []KernelWeight{
+				{KCompute, 25}, {KArraySweep, 25}, {KCallTree, 8}, {KBranchy, 15},
+			},
+			MoveDensity: 0.40, FPFrac: 0.15, Mem: 6000, AddrOffsets: 1, Unroll: 2,
+			BranchEntropy: 0.3, CallDepth: 3, SpillRegs: 3,
+		},
+		{
+			Name: "eon.k", Suite: "SPECint", Seed: 104, OuterIters: 36,
+			Kernels: []KernelWeight{
+				{KCompute, 30}, {KArraySweep, 22}, {KCallTree, 8}, {KBranchy, 12},
+			},
+			MoveDensity: 0.40, FPFrac: 0.18, Mem: 6000, AddrOffsets: 1, Unroll: 2,
+			BranchEntropy: 0.3, CallDepth: 3, SpillRegs: 3,
+		},
+		{
+			Name: "eon.r", Suite: "SPECint", Seed: 105, OuterIters: 36,
+			Kernels: []KernelWeight{
+				{KCompute, 28}, {KArraySweep, 24}, {KCallTree, 7}, {KBranchy, 14},
+			},
+			MoveDensity: 0.40, FPFrac: 0.16, Mem: 6000, AddrOffsets: 1, Unroll: 2,
+			BranchEntropy: 0.3, CallDepth: 3, SpillRegs: 3,
+		},
+		{
+			Name: "gap", Suite: "SPECint", Seed: 106, OuterIters: 34,
+			// Large memory component (Figure 9 commentary).
+			Kernels: []KernelWeight{
+				{KPointerChase, 60}, {KArraySweep, 30}, {KCallTree, 6}, {KRedundant, 10},
+			},
+			MoveDensity: 0.35, Mem: 60000, ChaseNodes: 16384, AddrOffsets: 1, Unroll: 1,
+			BranchEntropy: 0.4, CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "gcc", Suite: "SPECint", Seed: 107, OuterIters: 30,
+			Kernels: []KernelWeight{
+				{KBranchy, 40}, {KPointerChase, 25}, {KCallTree, 8},
+				{KArraySweep, 20}, {KRedundant, 12},
+			},
+			MoveDensity: 0.40, Mem: 20000, ChaseNodes: 1024, AddrOffsets: 1, Unroll: 1,
+			BranchEntropy: 0.6, CallDepth: 3, SpillRegs: 2,
+		},
+		{
+			Name: "gzip", Suite: "SPECint", Seed: 108, OuterIters: 42,
+			Kernels: []KernelWeight{
+				{KArraySweep, 45}, {KBitops, 35}, {KBranchy, 25},
+			},
+			MoveDensity: 0.35, Mem: 16000, AddrOffsets: 1, Unroll: 2, BranchEntropy: 0.45,
+			CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "mcf", Suite: "SPECint", Seed: 109, OuterIters: 30,
+			// Memory bound; few reg-imm adds (paper: <10%) but many moves
+			// (paper singles mcf out for high ME rates).
+			Kernels: []KernelWeight{
+				{KPointerChase, 110}, {KBranchy, 20}, {KRedundant, 8},
+			},
+			MoveDensity: 0.30, LowAddi: true, Mem: 80000, ChaseNodes: 65536,
+			BranchEntropy: 0.55, CallDepth: 2, SpillRegs: 1,
+		},
+		{
+			Name: "parser", Suite: "SPECint", Seed: 110, OuterIters: 32,
+			Kernels: []KernelWeight{
+				{KPointerChase, 55}, {KBranchy, 30}, {KCallTree, 7}, {KRedundant, 10},
+			},
+			MoveDensity: 0.35, Mem: 40000, ChaseNodes: 16384, BranchEntropy: 0.6,
+			CallDepth: 3, SpillRegs: 3, AddrOffsets: 1,
+		},
+		{
+			Name: "perl.d", Suite: "SPECint", Seed: 111, OuterIters: 30,
+			// Interpreter: call-heavy with big frames -> RA heaven.
+			Kernels: []KernelWeight{
+				{KCallTree, 14}, {KBranchy, 25}, {KArraySweep, 20}, {KRedundant, 12},
+			},
+			MoveDensity: 0.45, Mem: 12000, AddrOffsets: 1, Unroll: 1, BranchEntropy: 0.5,
+			CallDepth: 4, SpillRegs: 2,
+		},
+		{
+			Name: "perl.s", Suite: "SPECint", Seed: 112, OuterIters: 30,
+			Kernels: []KernelWeight{
+				{KCallTree, 16}, {KBranchy, 22}, {KArraySweep, 22}, {KRedundant, 12},
+			},
+			MoveDensity: 0.45, Mem: 12000, AddrOffsets: 1, Unroll: 1, BranchEntropy: 0.45,
+			CallDepth: 4, SpillRegs: 2,
+		},
+		{
+			Name: "twolf", Suite: "SPECint", Seed: 113, OuterIters: 36,
+			Kernels: []KernelWeight{
+				{KBranchy, 45}, {KArraySweep, 28}, {KPointerChase, 18}, {KCompute, 10},
+			},
+			MoveDensity: 0.35, Mem: 24000, ChaseNodes: 2048, AddrOffsets: 1, Unroll: 1,
+			BranchEntropy: 0.7, CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "vortex", Suite: "SPECint", Seed: 114, OuterIters: 28,
+			// OO database: call-heavy, store-heavy (commit-bound in Fig. 9).
+			Kernels: []KernelWeight{
+				{KCallTree, 14}, {KMemcpy, 40}, {KRedundant, 14}, {KArraySweep, 16},
+			},
+			MoveDensity: 0.45, Mem: 30000, AddrOffsets: 1, Unroll: 1, BranchEntropy: 0.35,
+			CallDepth: 4, SpillRegs: 3,
+		},
+		{
+			Name: "vpr.p", Suite: "SPECint", Seed: 115, OuterIters: 36,
+			// place: few reg-imm adds per the paper.
+			Kernels: []KernelWeight{
+				{KBranchy, 45}, {KCompute, 22}, {KPointerChase, 16},
+			},
+			MoveDensity: 0.35, LowAddi: true, MulFrac: 0.1, Mem: 16000,
+			ChaseNodes: 2048, BranchEntropy: 0.65, CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "vpr.r", Suite: "SPECint", Seed: 116, OuterIters: 36,
+			// route: resource-constrained in the paper's fetch-criticality
+			// discussion.
+			Kernels: []KernelWeight{
+				{KArraySweep, 35}, {KBranchy, 30}, {KPointerChase, 18}, {KRedundant, 10},
+			},
+			MoveDensity: 0.35, Mem: 24000, ChaseNodes: 2048, AddrOffsets: 1, Unroll: 2,
+			BranchEntropy: 0.55, CallDepth: 2, SpillRegs: 2,
+		},
+	}
+}
+
+// MediaBench returns the 18 MediaBench program profiles used in the paper's
+// figures.
+func MediaBench() []Profile {
+	return []Profile{
+		{
+			Name: "adpcm.de", Suite: "MediaBench", Seed: 201, OuterIters: 46,
+			Kernels: []KernelWeight{
+				{KCompute, 40}, {KBitops, 30}, {KArraySweep, 25},
+			},
+			MoveDensity: 0.35, Mem: 2000, AddrOffsets: 1, Unroll: 2, BranchEntropy: 0.3,
+			CallDepth: 1, SpillRegs: 1,
+		},
+		{
+			Name: "adpcm.en", Suite: "MediaBench", Seed: 202, OuterIters: 46,
+			Kernels: []KernelWeight{
+				{KCompute, 42}, {KBitops, 28}, {KArraySweep, 25}, {KBranchy, 12},
+			},
+			MoveDensity: 0.35, Mem: 2000, AddrOffsets: 1, Unroll: 2, BranchEntropy: 0.35,
+			CallDepth: 1, SpillRegs: 1,
+		},
+		{
+			Name: "epic", Suite: "MediaBench", Seed: 203, OuterIters: 40,
+			Kernels: []KernelWeight{
+				{KCompute, 35}, {KArraySweep, 35}, {KMemcpy, 20},
+			},
+			MoveDensity: 0.35, FPFrac: 0.25, Mem: 8000, AddrOffsets: 2, Unroll: 2,
+			BranchEntropy: 0.25, CallDepth: 1, SpillRegs: 1,
+		},
+		{
+			Name: "g721.de", Suite: "MediaBench", Seed: 204, OuterIters: 42,
+			Kernels: []KernelWeight{
+				{KCompute, 45}, {KBitops, 30}, {KArraySweep, 20}, {KCallTree, 5},
+			},
+			MoveDensity: 0.35, MulFrac: 0.12, Mem: 2000, AddrOffsets: 1, Unroll: 1,
+			BranchEntropy: 0.3, CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "g721.en", Suite: "MediaBench", Seed: 205, OuterIters: 42,
+			Kernels: []KernelWeight{
+				{KCompute, 47}, {KBitops, 28}, {KArraySweep, 20}, {KCallTree, 5},
+			},
+			MoveDensity: 0.35, MulFrac: 0.12, Mem: 2000, AddrOffsets: 1, Unroll: 1,
+			BranchEntropy: 0.3, CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "gs.de", Suite: "MediaBench", Seed: 206, OuterIters: 36,
+			// ghostscript: biggest and branchiest MediaBench program.
+			Kernels: []KernelWeight{
+				{KBranchy, 35}, {KArraySweep, 30}, {KCallTree, 8}, {KRedundant, 10},
+			},
+			MoveDensity: 0.40, Mem: 20000, AddrOffsets: 1, Unroll: 1, BranchEntropy: 0.5,
+			CallDepth: 3, SpillRegs: 3,
+		},
+		{
+			Name: "gsm.de", Suite: "MediaBench", Seed: 207, OuterIters: 44,
+			// The paper's peak MediaBench speedup (27%): tight ALU loops
+			// dense in foldable additions.
+			Kernels: []KernelWeight{
+				{KCompute, 50}, {KArraySweep, 40}, {KBitops, 20},
+			},
+			MoveDensity: 0.35, Mem: 3000, AddrOffsets: 2, Unroll: 3, BranchEntropy: 0.2,
+			CallDepth: 1, SpillRegs: 1,
+		},
+		{
+			Name: "gsm.en", Suite: "MediaBench", Seed: 208, OuterIters: 44,
+			Kernels: []KernelWeight{
+				{KCompute, 52}, {KArraySweep, 38}, {KBitops, 22},
+			},
+			MoveDensity: 0.35, MulFrac: 0.15, Mem: 3000, AddrOffsets: 2, Unroll: 3,
+			BranchEntropy: 0.2, CallDepth: 1, SpillRegs: 1,
+		},
+		{
+			Name: "jpg.de", Suite: "MediaBench", Seed: 209, OuterIters: 40,
+			Kernels: []KernelWeight{
+				{KArraySweep, 40}, {KCompute, 30}, {KMemcpy, 25}, {KBitops, 12},
+			},
+			MoveDensity: 0.35, MulFrac: 0.1, Mem: 10000, AddrOffsets: 1, Unroll: 2,
+			BranchEntropy: 0.3, CallDepth: 1, SpillRegs: 1,
+		},
+		{
+			Name: "jpg.en", Suite: "MediaBench", Seed: 210, OuterIters: 40,
+			Kernels: []KernelWeight{
+				{KArraySweep, 38}, {KCompute, 34}, {KMemcpy, 22}, {KBitops, 14},
+			},
+			MoveDensity: 0.35, MulFrac: 0.14, Mem: 10000, AddrOffsets: 1, Unroll: 2,
+			BranchEntropy: 0.3, CallDepth: 1, SpillRegs: 1,
+		},
+		{
+			Name: "mesa.m", Suite: "MediaBench", Seed: 211, OuterIters: 36,
+			// mesa: FP-flavoured, and the paper singles it out (with mcf)
+			// for a high move rate.
+			Kernels: []KernelWeight{
+				{KCompute, 40}, {KArraySweep, 30}, {KCallTree, 6},
+			},
+			MoveDensity: 0.80, FPFrac: 0.3, Mem: 8000, AddrOffsets: 1, Unroll: 2,
+			BranchEntropy: 0.25, CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "mesa.o", Suite: "MediaBench", Seed: 212, OuterIters: 36,
+			Kernels: []KernelWeight{
+				{KCompute, 42}, {KArraySweep, 28}, {KCallTree, 6},
+			},
+			MoveDensity: 0.80, FPFrac: 0.32, Mem: 8000, AddrOffsets: 1, Unroll: 2,
+			BranchEntropy: 0.25, CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "mesa.t", Suite: "MediaBench", Seed: 213, OuterIters: 36,
+			Kernels: []KernelWeight{
+				{KCompute, 38}, {KArraySweep, 32}, {KCallTree, 6},
+			},
+			MoveDensity: 0.80, FPFrac: 0.3, Mem: 8000, AddrOffsets: 1, Unroll: 2,
+			BranchEntropy: 0.25, CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "mpg2.de", Suite: "MediaBench", Seed: 214, OuterIters: 40,
+			// mpeg2.decode has the highest reg-imm-add fraction (23%).
+			Kernels: []KernelWeight{
+				{KArraySweep, 55}, {KMemcpy, 30}, {KCompute, 20},
+			},
+			MoveDensity: 0.35, Mem: 16000, AddrOffsets: 3, Unroll: 3, BranchEntropy: 0.2,
+			CallDepth: 1, SpillRegs: 1,
+		},
+		{
+			Name: "mpg2.en", Suite: "MediaBench", Seed: 215, OuterIters: 38,
+			Kernels: []KernelWeight{
+				{KArraySweep, 45}, {KCompute, 32}, {KMemcpy, 22},
+			},
+			MoveDensity: 0.35, MulFrac: 0.18, Mem: 16000, AddrOffsets: 2, Unroll: 2,
+			BranchEntropy: 0.25, CallDepth: 1, SpillRegs: 1,
+		},
+		{
+			Name: "pegw.de", Suite: "MediaBench", Seed: 216, OuterIters: 42,
+			// pegwit: public-key crypto -> multiply + shift/logical heavy.
+			Kernels: []KernelWeight{
+				{KBitops, 45}, {KCompute, 35}, {KArraySweep, 18},
+			},
+			MoveDensity: 0.35, MulFrac: 0.25, Mem: 3000, AddrOffsets: 1, Unroll: 1,
+			BranchEntropy: 0.3, CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "pegw.en", Suite: "MediaBench", Seed: 217, OuterIters: 42,
+			Kernels: []KernelWeight{
+				{KBitops, 47}, {KCompute, 33}, {KArraySweep, 18},
+			},
+			MoveDensity: 0.35, MulFrac: 0.27, Mem: 3000, AddrOffsets: 1, Unroll: 1,
+			BranchEntropy: 0.3, CallDepth: 2, SpillRegs: 2,
+		},
+		{
+			Name: "unepic", Suite: "MediaBench", Seed: 218, OuterIters: 40,
+			Kernels: []KernelWeight{
+				{KArraySweep, 38}, {KCompute, 30}, {KMemcpy, 20}, {KBitops, 10},
+			},
+			MoveDensity: 0.35, FPFrac: 0.12, Mem: 8000, AddrOffsets: 2, Unroll: 2,
+			BranchEntropy: 0.25, CallDepth: 1, SpillRegs: 1,
+		},
+	}
+}
+
+// ByName returns the profile with the given name from either suite.
+func ByName(name string) (Profile, bool) {
+	for _, p := range SPECint() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range MediaBench() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// AllProfiles returns both suites concatenated (SPECint first).
+func AllProfiles() []Profile {
+	return append(SPECint(), MediaBench()...)
+}
+
+// Scale returns a copy of p with OuterIters multiplied by f (minimum 1).
+func Scale(p Profile, f float64) Profile {
+	p.OuterIters = max(1, int(float64(p.OuterIters)*f))
+	return p
+}
+
+// Micro returns small single-kernel workloads useful in tests and examples.
+func Micro(kind KernelKind, trips, iters int) Profile {
+	return Profile{
+		Name: "micro." + kind.String(), Suite: "micro", Seed: 999,
+		OuterIters: iters,
+		Kernels:    []KernelWeight{{kind, trips}},
+		Mem:        2048, ChaseNodes: 256, AddrOffsets: 1, Unroll: 2,
+		BranchEntropy: 0.5, CallDepth: 3, SpillRegs: 3, MoveDensity: 0.45,
+	}
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"testing"
+
+	"reno/internal/emu"
+	"reno/internal/isa"
+)
+
+// mix counts instruction categories in a dynamic trace.
+type mix struct {
+	total, moves, addis, loads, stores, branches, calls int
+}
+
+func traceMix(t *testing.T, p Profile, limit uint64) mix {
+	t.Helper()
+	w, err := Build(p)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	warm, err := w.WarmupCount()
+	if err != nil {
+		t.Fatalf("%s: warmup: %v", p.Name, err)
+	}
+	var m mix
+	mach := emu.New(w.Code)
+	err = mach.Trace(warm+limit, func(d emu.Dyn) bool {
+		if mach.ICount <= warm {
+			return true // skip the initialization prologue
+		}
+		m.total++
+		switch {
+		case isa.IsMove(d.Inst):
+			m.moves++
+		case isa.IsRegImmAdd(d.Inst):
+			m.addis++
+		}
+		switch isa.ClassOf(d.Inst) {
+		case isa.ClassLoad:
+			m.loads++
+		case isa.ClassStore:
+			m.stores++
+		case isa.ClassBranch:
+			m.branches++
+		case isa.ClassCall, isa.ClassReturn:
+			m.calls++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("%s: trace: %v", p.Name, err)
+	}
+	if !mach.Halted && mach.ICount < limit {
+		t.Fatalf("%s: stopped early without halt", p.Name)
+	}
+	return m
+}
+
+func TestAllProfilesBuildAndRun(t *testing.T) {
+	for _, p := range AllProfiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			w, err := Build(Scale(p, 0.1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach := emu.New(w.Code)
+			if err := mach.Run(20_000_000); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if mach.ICount < 1000 {
+				t.Errorf("suspiciously short run: %d dynamic instructions", mach.ICount)
+			}
+		})
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	p, _ := ByName("gzip")
+	w1 := MustBuild(p)
+	w2 := MustBuild(p)
+	if w1.Asm != w2.Asm {
+		t.Error("same profile generated different code")
+	}
+	m1 := emu.New(w1.Code)
+	m2 := emu.New(w2.Code)
+	if err := m1.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m1.StateHash() != m2.StateHash() {
+		t.Error("same program produced different final state")
+	}
+}
+
+func TestSuiteMixesMatchPaperBands(t *testing.T) {
+	// Paper (Section 1/4.2): reg-imm additions average 12% of dynamic
+	// instructions in SPECint and 17% in MediaBench; moves average ~4%.
+	// We accept generous bands: the claim being reproduced is "surprisingly
+	// high fraction", i.e., roughly 1 in 8 and 1 in 6.
+	suiteAvg := func(profs []Profile) (movePct, addiPct float64) {
+		var mv, ad float64
+		for _, p := range profs {
+			m := traceMix(t, Scale(p, 0.3), 2_000_000)
+			mv += float64(m.moves) / float64(m.total)
+			ad += float64(m.addis) / float64(m.total)
+		}
+		n := float64(len(profs))
+		return 100 * mv / n, 100 * ad / n
+	}
+	mvS, adS := suiteAvg(SPECint())
+	if adS < 8 || adS > 20 {
+		t.Errorf("SPECint reg-imm-add average = %.1f%%, want ~12%% (band 8-20)", adS)
+	}
+	if mvS < 1.5 || mvS > 9 {
+		t.Errorf("SPECint move average = %.1f%%, want ~4%% (band 1.5-9)", mvS)
+	}
+	mvM, adM := suiteAvg(MediaBench())
+	if adM < 12 || adM > 26 {
+		t.Errorf("MediaBench reg-imm-add average = %.1f%%, want ~17%% (band 12-26)", adM)
+	}
+	if adM <= adS {
+		t.Errorf("MediaBench addi%% (%.1f) should exceed SPECint (%.1f)", adM, adS)
+	}
+	_ = mvM
+}
+
+func TestMcfAndMesaAreMoveHeavy(t *testing.T) {
+	// Paper: "With a few exceptions - mcf and mesa - RENO.ME eliminates
+	// fewer than 8% ... average of 4%". Our mcf/mesa profiles must be
+	// move-heavier than the suite average.
+	avgOf := func(name string) float64 {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("no profile %s", name)
+		}
+		m := traceMix(t, Scale(p, 0.3), 2_000_000)
+		return float64(m.moves) / float64(m.total)
+	}
+	mcf := avgOf("mcf")
+	gzip := avgOf("gzip")
+	mesa := avgOf("mesa.m")
+	if mcf <= gzip {
+		t.Errorf("mcf move fraction (%.3f) should exceed gzip (%.3f)", mcf, gzip)
+	}
+	if mesa <= gzip {
+		t.Errorf("mesa move fraction (%.3f) should exceed gzip (%.3f)", mesa, gzip)
+	}
+}
+
+func TestMpeg2DecodeIsAddiDense(t *testing.T) {
+	// Paper: reg-imm adds are 23% of mpeg2.decode.
+	p, _ := ByName("mpg2.de")
+	m := traceMix(t, Scale(p, 0.3), 2_000_000)
+	pct := 100 * float64(m.addis) / float64(m.total)
+	if pct < 18 {
+		t.Errorf("mpg2.de reg-imm-add fraction = %.1f%%, want >= 18%%", pct)
+	}
+}
+
+func TestCallTreeSpills(t *testing.T) {
+	// The call-tree kernel must generate genuine spill/fill pairs: stores
+	// to the stack later loaded from the same address.
+	p := Micro(KCallTree, 4, 3)
+	w := MustBuild(p)
+	stores := map[uint64]bool{}
+	var fills int
+	mach := emu.New(w.Code)
+	err := mach.Trace(5_000_000, func(d emu.Dyn) bool {
+		switch d.Inst.Op {
+		case isa.OpSt:
+			stores[d.EA] = true
+		case isa.OpLd:
+			if stores[d.EA] {
+				fills++
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills == 0 {
+		t.Error("call-tree kernel produced no spill/fill pairs")
+	}
+}
+
+func TestRedundantKernelReloads(t *testing.T) {
+	p := Micro(KRedundant, 8, 2)
+	w := MustBuild(p)
+	loadsAt := map[uint64]int{}
+	mach := emu.New(w.Code)
+	err := mach.Trace(5_000_000, func(d emu.Dyn) bool {
+		if d.Inst.Op == isa.OpLd {
+			loadsAt[d.EA]++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repeated int
+	for _, n := range loadsAt {
+		if n > 1 {
+			repeated++
+		}
+	}
+	if repeated == 0 {
+		t.Error("redundant kernel never reloaded an address")
+	}
+}
+
+func TestPointerChaseDependentLoads(t *testing.T) {
+	p := Micro(KPointerChase, 32, 2)
+	w := MustBuild(p)
+	mach := emu.New(w.Code)
+	var chaseLoads int
+	err := mach.Trace(5_000_000, func(d emu.Dyn) bool {
+		if d.Inst.Op == isa.OpLd && d.Inst.Rd == d.Inst.Rs {
+			chaseLoads++ // ld r2, 0(r2): serially dependent
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaseLoads < 32 {
+		t.Errorf("pointer chase produced %d dependent loads, want >= 32", chaseLoads)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("gcc"); !ok {
+		t.Error("gcc profile missing")
+	}
+	if _, ok := ByName("gsm.de"); !ok {
+		t.Error("gsm.de profile missing")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("nonexistent profile found")
+	}
+}
+
+func TestScale(t *testing.T) {
+	p, _ := ByName("gzip")
+	s := Scale(p, 2.0)
+	if s.OuterIters != p.OuterIters*2 {
+		t.Errorf("scale 2.0: %d -> %d", p.OuterIters, s.OuterIters)
+	}
+	s = Scale(p, 0.0001)
+	if s.OuterIters != 1 {
+		t.Errorf("scale floor: %d", s.OuterIters)
+	}
+}
+
+func TestSuitesAreComplete(t *testing.T) {
+	if n := len(SPECint()); n != 16 {
+		t.Errorf("SPECint has %d programs, want 16", n)
+	}
+	if n := len(MediaBench()); n != 18 {
+		t.Errorf("MediaBench has %d programs, want 18", n)
+	}
+	seen := map[string]bool{}
+	for _, p := range AllProfiles() {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
