@@ -16,10 +16,12 @@ import (
 	"reno/internal/harness"
 	"reno/internal/pipeline"
 	"reno/internal/reno"
+	"reno/internal/sweep"
 	"reno/internal/workload"
 )
 
-// benchOpts keeps bench runtime modest; renobench runs the full scale.
+// benchOpts keeps bench runtime modest; renobench runs the full scale. All
+// figure benchmarks execute on the sweep worker pool via harness.Execute.
 func benchOpts() harness.Options {
 	return harness.Options{Scale: 0.4, MaxInsts: 60_000, Parallel: true}
 }
@@ -95,6 +97,36 @@ func BenchmarkCFLatencyAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.CFLatencyAblation(out("cflat"), benchOpts())
 	}
+}
+
+// BenchmarkSweepGrid runs an 8-benchmark × 4-configuration grid through the
+// sweep pool directly (the subsystem every figure now runs on) and reports
+// end-to-end simulated instructions per wall second, including workload
+// build and result hashing.
+func BenchmarkSweepGrid(b *testing.B) {
+	grid := sweep.Grid{
+		Benches:        []string{"bzip2", "crafty", "gap", "gzip", "parser", "adpcm.de", "gsm.de", "jpg.de"},
+		MachineConfigs: []string{"4w", "6w"},
+		RenoConfigs:    []string{"BASE", "RENO"},
+		Scale:          0.4,
+		MaxInsts:       60_000,
+	}
+	jobs, err := grid.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := sweep.Run(jobs, grid.Options())
+		for _, r := range results {
+			if r.Err != "" {
+				b.Fatalf("%s: %s", r.Key(), r.Err)
+			}
+			insts += r.Insts
+		}
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "simInsts/s")
 }
 
 // BenchmarkSimulatorThroughput measures raw pipeline simulation speed

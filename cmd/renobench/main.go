@@ -31,9 +31,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	maxInsts := flag.Uint64("max", 300_000, "timed instructions per run (0 = to completion)")
 	serial := flag.Bool("serial", false, "disable parallel simulation")
+	workers := flag.Int("workers", 0, "sweep pool size (0 = GOMAXPROCS; ignored with -serial)")
 	flag.Parse()
 
-	opts := harness.Options{Scale: *scale, MaxInsts: *maxInsts, Parallel: !*serial}
+	opts := harness.Options{Scale: *scale, MaxInsts: *maxInsts, Parallel: !*serial, Workers: *workers}
 	w := os.Stdout
 
 	run := func(name string, f func()) {

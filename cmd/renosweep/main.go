@@ -1,0 +1,181 @@
+// Command renosweep runs a declarative experiment grid on the bounded sweep
+// worker pool and emits machine-readable results (JSON, optionally CSV).
+//
+// The grid is the cross product benches × machines × renos × seeds, given
+// either by flags or by a JSON spec file (see docs/sweep.md for the schema):
+//
+//	renosweep -benches all -machines 4w,6w -renos BASE,RENO -o results.json
+//	renosweep -grid grid.json -csv results.csv -progress
+//
+// Machine specs take colon-separated modifiers: "4w:p128" (128 physical
+// registers), "4w:i2t3" (2 int ALUs, 3-wide issue), "4w:s2" (2-cycle
+// scheduling loop). Every run carries a stable hash over its deterministic
+// outcome, so results are diffable across worker counts and machines;
+// -stable additionally zeroes wall-clock fields for byte-identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"reno/internal/sweep"
+)
+
+func main() {
+	var (
+		benches  = flag.String("benches", "all", "comma-separated benchmark names or suite aliases (all, SPECint, MediaBench, micro.<kernel>)")
+		machines = flag.String("machines", "4w", "comma-separated machine specs (4w, 6w, with :p<N> :i<A>t<T> :s<N> modifiers)")
+		renos    = flag.String("renos", "BASE,RENO", "comma-separated RENO configs ("+strings.Join(sweep.RenoNames(), ", ")+")")
+		seeds    = flag.String("seeds", "0", "comma-separated workload seed offsets")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		maxInsts = flag.Uint64("max", 300_000, "timed instructions per run (0 = to completion)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		gridPath = flag.String("grid", "", "JSON grid spec file (overrides the grid axis flags)")
+		jsonOut  = flag.String("o", "-", "JSON output path (- = stdout)")
+		csvOut   = flag.String("csv", "", "also write CSV to this path")
+		stable   = flag.Bool("stable", false, "zero wall-clock fields for byte-identical output")
+		progress = flag.Bool("progress", false, "print per-run progress to stderr")
+		quiet    = flag.Bool("quiet", false, "suppress the summary line on stderr")
+	)
+	flag.Parse()
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	grid, err := buildGrid(*gridPath, *benches, *machines, *renos, *seeds, *scale, *maxInsts, *workers, setFlags)
+	if err != nil {
+		fatal(err)
+	}
+	jobs, err := grid.Expand()
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := grid.Options()
+	if *progress {
+		opts.Progress = func(done, total int, r *sweep.Result) {
+			if r.Err != "" {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-28s ERROR %s\n", done, total, r.Key(), r.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-28s IPC %.3f elim %.1f%% hash %s\n",
+				done, total, r.Key(), r.IPC, r.ElimTotal, r.Hash)
+		}
+	}
+
+	t0 := time.Now()
+	results := sweep.Run(jobs, opts)
+	elapsed := time.Since(t0)
+
+	rep := sweep.NewReport(grid, results)
+	emit := sweep.EmitOptions{Deterministic: *stable}
+	if err := writeTo(*jsonOut, func(w io.Writer) error { return rep.WriteJSON(w, emit) }); err != nil {
+		fatal(err)
+	}
+	if *csvOut != "" {
+		if err := writeTo(*csvOut, func(w io.Writer) error { return rep.WriteCSV(w, emit) }); err != nil {
+			fatal(err)
+		}
+	}
+
+	if !*quiet {
+		s := rep.Summary
+		fmt.Fprintf(os.Stderr, "sweep: %d runs (%d failed), %d insts in %s (%.0f insts/s), mean IPC %.3f, %d audit warnings\n",
+			s.Runs, s.Failed, s.Insts, elapsed.Truncate(time.Millisecond),
+			float64(s.Insts)/elapsed.Seconds(), s.MeanIPC, s.Warnings)
+		for _, w := range sweep.Audit(results) {
+			fmt.Fprintf(os.Stderr, "WARNING: %s\n", w)
+		}
+	}
+	if rep.Summary.Failed > 0 || rep.Summary.Warnings > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildGrid assembles the grid from a spec file or the axis flags. With a
+// spec file, an execution knob given explicitly on the command line
+// overrides the file; otherwise the file's value stands — including an
+// explicit "max_insts": 0 (run to completion), which is why presence on the
+// command line is tracked via setFlags rather than by comparing against
+// flag defaults.
+func buildGrid(path, benches, machines, renos, seeds string, scale float64, maxInsts uint64, workers int, setFlags map[string]bool) (sweep.Grid, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return sweep.Grid{}, err
+		}
+		g, err := sweep.ParseGridJSON(data)
+		if err != nil {
+			return sweep.Grid{}, err
+		}
+		if setFlags["scale"] || g.Scale == 0 {
+			g.Scale = scale
+		}
+		if setFlags["max"] {
+			g.MaxInsts = maxInsts
+		}
+		if setFlags["workers"] || g.Workers == 0 {
+			g.Workers = workers
+		}
+		return g, nil
+	}
+	seedVals, err := parseSeeds(seeds)
+	if err != nil {
+		return sweep.Grid{}, err
+	}
+	return sweep.Grid{
+		Benches:        splitList(benches),
+		MachineConfigs: splitList(machines),
+		RenoConfigs:    splitList(renos),
+		Seeds:          seedVals,
+		Scale:          scale,
+		MaxInsts:       maxInsts,
+		Workers:        workers,
+	}, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func writeTo(path string, emit func(io.Writer) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "renosweep: %v\n", err)
+	os.Exit(2)
+}

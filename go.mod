@@ -1,0 +1,3 @@
+module reno
+
+go 1.22

@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"reno/internal/pipeline"
+	"reno/internal/reno"
+	"reno/internal/sweep"
+	"reno/internal/workload"
+)
+
+// TestDeterminismAcrossExecutionPaths is the regression guard for the sweep
+// refactor: the same (bench, config, seed) measurement must be identical —
+// cycles, IPC, architectural hash, and the sweep result hash — whether it
+// runs serially, through parallel harness.Execute, or directly on the sweep
+// pool at any worker count.
+func TestDeterminismAcrossExecutionPaths(t *testing.T) {
+	const scale, maxInsts = 0.15, 20_000
+	benches := []string{"gzip", "gsm.de"}
+	cfgs := []struct {
+		tag string
+		rc  reno.Config
+	}{
+		{"BASE", reno.Baseline(160)},
+		{"RENO", reno.Default(160)},
+	}
+
+	var hjobs []Job
+	var sjobs []sweep.Job
+	for _, name := range benches {
+		prof, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("no profile %s", name)
+		}
+		for _, c := range cfgs {
+			hjobs = append(hjobs, Job{Bench: prof, CfgTag: c.tag, Cfg: pipeline.FourWide(c.rc)})
+			sjobs = append(sjobs, sweep.Job{Profile: prof, Config: c.tag, Cfg: pipeline.FourWide(c.rc)})
+		}
+	}
+
+	serial := Execute(hjobs, Options{Scale: scale, MaxInsts: maxInsts, Parallel: false}, nil)
+	parallel := Execute(hjobs, Options{Scale: scale, MaxInsts: maxInsts, Parallel: true}, nil)
+	pool1 := sweep.Run(sjobs, sweep.Options{Workers: 1, Scale: scale, MaxInsts: maxInsts})
+	poolN := sweep.Run(sjobs, sweep.Options{Workers: 7, Scale: scale, MaxInsts: maxInsts})
+
+	for i, j := range hjobs {
+		key := j.Bench.Name + "/" + j.CfgTag
+		rs := serial.Get(j.Bench.Name, j.CfgTag)
+		rp := parallel.Get(j.Bench.Name, j.CfgTag)
+		if rs == nil || rp == nil {
+			t.Fatalf("%s: missing harness run", key)
+		}
+		// The sweep result hash is the strongest check: byte-identical
+		// strings across pool widths.
+		if pool1[i].Hash != poolN[i].Hash {
+			t.Errorf("%s: sweep hash differs between workers=1 (%s) and workers=7 (%s)",
+				key, pool1[i].Hash, poolN[i].Hash)
+		}
+		// Both harness paths must agree with the pool on every
+		// deterministic observable.
+		for _, p := range []struct {
+			path string
+			run  *Run
+		}{{"serial", rs}, {"parallel", rp}} {
+			if p.run.Hash != pool1[i].ArchHashU64() {
+				t.Errorf("%s: %s arch hash %016x != pool %s", key, p.path, p.run.Hash, pool1[i].ArchHash)
+			}
+			if p.run.Res.Cycles != pool1[i].Cycles || p.run.Res.Insts != pool1[i].Insts {
+				t.Errorf("%s: %s cycles/insts (%d/%d) != pool (%d/%d)",
+					key, p.path, p.run.Res.Cycles, p.run.Res.Insts, pool1[i].Cycles, pool1[i].Insts)
+			}
+		}
+	}
+}
+
+// mkSet builds a Set with synthetic cycle counts for edge-case testing.
+func mkSet(cycles map[string]uint64) *Set {
+	s := &Set{Runs: map[string]*Run{}}
+	for key, c := range cycles {
+		s.Runs[key] = &Run{Res: &pipeline.Result{Cycles: c}}
+	}
+	return s
+}
+
+func TestSpeedupEdgeCases(t *testing.T) {
+	set := mkSet(map[string]uint64{
+		"b/base": 200, "b/fast": 100, "b/zero": 0, "z/base": 0, "z/cfg": 100,
+	})
+	for _, tc := range []struct {
+		name                string
+		bench, base, config string
+		want                float64 // NaN means "expect NaN"
+	}{
+		{"normal 2x", "b", "base", "fast", 100},
+		{"identity", "b", "base", "base", 0},
+		{"missing config", "b", "base", "nope", math.NaN()},
+		{"missing bench", "x", "base", "fast", math.NaN()},
+		{"zero-cycle config", "b", "base", "zero", math.NaN()},
+		{"zero-cycle baseline", "z", "base", "cfg", -100},
+	} {
+		got := set.Speedup(tc.bench, tc.base, tc.config)
+		if math.IsNaN(tc.want) != math.IsNaN(got) || (!math.IsNaN(tc.want) && math.Abs(got-tc.want) > 1e-9) {
+			t.Errorf("%s: Speedup(%s,%s,%s) = %v, want %v", tc.name, tc.bench, tc.base, tc.config, got, tc.want)
+		}
+	}
+}
+
+func TestMeanPctEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		vals []float64
+		want float64
+	}{
+		{"empty", nil, math.NaN()},
+		{"all NaN", []float64{math.NaN(), math.NaN()}, math.NaN()},
+		{"single element", []float64{7.5}, 7.5},
+		{"single with NaNs", []float64{math.NaN(), 7.5, math.NaN()}, 7.5},
+		{"zeros", []float64{0, 0}, 0},
+		{"mixed sign", []float64{-10, 10}, 0},
+	} {
+		got := MeanPct(tc.vals)
+		if math.IsNaN(tc.want) != math.IsNaN(got) || (!math.IsNaN(tc.want) && math.Abs(got-tc.want) > 1e-9) {
+			t.Errorf("%s: MeanPct(%v) = %v, want %v", tc.name, tc.vals, got, tc.want)
+		}
+	}
+}
+
+func TestGeoMeanPctEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		vals []float64
+		want float64
+	}{
+		{"empty", nil, math.NaN()},
+		{"all NaN", []float64{math.NaN()}, math.NaN()},
+		{"single element", []float64{20}, 20},
+		{"equal values", []float64{10, 10, 10}, 10},
+		{"zeros", []float64{0, 0}, 0},
+		// 1.21 * 1.00 -> geomean factor 1.1 -> +10%.
+		{"two-point", []float64{21, 0}, 10},
+		// A -100% speedup (infinite slowdown) zeroes the product.
+		{"total collapse", []float64{-100, 50}, -100},
+	} {
+		got := GeoMeanPct(tc.vals)
+		if math.IsNaN(tc.want) != math.IsNaN(got) || (!math.IsNaN(tc.want) && math.Abs(got-tc.want) > 1e-6) {
+			t.Errorf("%s: GeoMeanPct(%v) = %v, want %v", tc.name, tc.vals, got, tc.want)
+		}
+	}
+}
+
+// TestExecuteGridTags pins the grid tag convention the figures rely on.
+func TestExecuteGridTags(t *testing.T) {
+	set, err := ExecuteGrid(sweep.Grid{
+		Benches:        []string{"gzip"},
+		MachineConfigs: []string{"4w", "4w:s2"},
+		RenoConfigs:    []string{"BASE"},
+	}, Options{Scale: 0.05, MaxInsts: 3_000, Parallel: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{"4w/BASE", "4w:s2/BASE"} {
+		if set.Get("gzip", tag) == nil {
+			t.Errorf("missing run for tag %q (have %v)", tag, set.sortedKeys())
+		}
+	}
+	if _, err := ExecuteGrid(sweep.Grid{Benches: []string{"nope"}}, Options{}, nil); err == nil {
+		t.Error("bad grid did not error")
+	}
+}
+
+// TestExecuteGridSeedsReachTheWorkload guards the seed plumbing: a non-zero
+// grid seed must run a genuinely different program through ExecuteGrid, not
+// the canonical one under a seeded tag.
+func TestExecuteGridSeedsReachTheWorkload(t *testing.T) {
+	set, err := ExecuteGrid(sweep.Grid{
+		Benches:        []string{"gzip"},
+		MachineConfigs: []string{"4w"},
+		RenoConfigs:    []string{"RENO"},
+		Seeds:          []int64{0, 1},
+	}, Options{Scale: 0.1, MaxInsts: 10_000, Parallel: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := set.Get("gzip", "4w/RENO")
+	r1 := set.Get("gzip", "4w/RENO@s1")
+	if r0 == nil || r1 == nil {
+		t.Fatalf("missing seeded runs (have %v)", set.sortedKeys())
+	}
+	if r0.Hash == r1.Hash && r0.Res.Cycles == r1.Res.Cycles {
+		t.Error("seed 1 produced the identical run: the seed was dropped on the ExecuteGrid path")
+	}
+}
+
+// TestSerialOverridesWorkers pins Options semantics: Parallel=false means
+// one worker even when Workers is set (renobench -serial -workers N).
+func TestSerialOverridesWorkers(t *testing.T) {
+	if got := (Options{Parallel: false, Workers: 8}).workers(); got != 1 {
+		t.Errorf("serial options resolved to %d workers, want 1", got)
+	}
+	if got := (Options{Parallel: true, Workers: 8}).workers(); got != 8 {
+		t.Errorf("parallel options resolved to %d workers, want 8", got)
+	}
+}
+
+// TestGeoMeanPct21 is the two-value sanity identity: geomean of x and x is x.
+func TestGeoMeanPct21(t *testing.T) {
+	if g := GeoMeanPct([]float64{21, 21}); math.Abs(g-21) > 1e-9 {
+		t.Errorf("GeoMeanPct identical values = %v", g)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"reno/internal/isa"
 	"reno/internal/pipeline"
 	"reno/internal/reno"
+	"reno/internal/sweep"
 	"reno/internal/workload"
 )
 
@@ -16,20 +17,15 @@ import (
 // (ME / CF / RA+CSE stacks) and speedups, on 4- and 6-wide machines.
 func Fig8(w io.Writer, opts Options) *Set {
 	spec, media := Suites()
-	all := append(append([]workload.Profile{}, spec...), media...)
 
-	var jobs []Job
-	for _, b := range all {
-		for _, width := range []string{"4", "6"} {
-			base := machine(width, reno.Baseline(160))
-			full := machine(width, reno.Default(160))
-			jobs = append(jobs,
-				Job{b, "base" + width, base},
-				Job{b, "reno" + width, full},
-			)
-		}
+	set, err := ExecuteGrid(sweep.Grid{
+		Benches:        []string{"all"},
+		MachineConfigs: []string{"4w", "6w"},
+		RenoConfigs:    []string{"BASE", "RENO"},
+	}, opts, nil)
+	if err != nil {
+		panic(err) // static grid: a failure is a programming error
 	}
-	set := Execute(jobs, opts, nil)
 
 	for _, suite := range []struct {
 		name  string
@@ -45,8 +41,8 @@ func Fig8(w io.Writer, opts Options) *Set {
 		}
 		var tots4, tots6, sps4, sps6 []float64
 		for _, b := range suite.profs {
-			r4 := set.Get(b.Name, "reno4")
-			r6 := set.Get(b.Name, "reno6")
+			r4 := set.Get(b.Name, "4w/RENO")
+			r6 := set.Get(b.Name, "6w/RENO")
 			if r4 == nil || r6 == nil {
 				continue
 			}
@@ -54,8 +50,8 @@ func Fig8(w io.Writer, opts Options) *Set {
 				F(r4.Res.ElimME), F(r4.Res.ElimCF),
 				F(r4.Res.ElimLoads+r4.Res.ElimALU),
 				F(r4.Res.ElimTotal), F(r6.Res.ElimTotal))
-			sp4 := set.Speedup(b.Name, "base4", "reno4")
-			sp6 := set.Speedup(b.Name, "base6", "reno6")
+			sp4 := set.Speedup(b.Name, "4w/BASE", "4w/RENO")
+			sp6 := set.Speedup(b.Name, "6w/BASE", "6w/RENO")
 			speed.AddRow(b.Name, F(sp4), F(sp6))
 			tots4 = append(tots4, r4.Res.ElimTotal)
 			tots6 = append(tots6, r6.Res.ElimTotal)
@@ -127,23 +123,14 @@ func Fig10(w io.Writer, opts Options) *Set {
 	spec, media := Suites()
 	all := append(append([]workload.Profile{}, spec...), media...)
 
-	cfgs := []struct {
-		tag string
-		rc  reno.Config
-	}{
-		{"BASE", reno.Baseline(160)},
-		{"RENO", reno.Default(160)},
-		{"RENO+FI", reno.RENOPlusFullIntegration(160)},
-		{"FullInteg", reno.FullIntegration(160)},
-		{"LoadsInteg", reno.LoadsIntegration(160)},
+	set, err := ExecuteGrid(sweep.Grid{
+		Benches:        []string{"all"},
+		MachineConfigs: []string{"4w"},
+		RenoConfigs:    []string{"BASE", "RENO", "RENO+FI", "FullInteg", "LoadsInteg"},
+	}, opts, nil)
+	if err != nil {
+		panic(err)
 	}
-	var jobs []Job
-	for _, b := range all {
-		for _, c := range cfgs {
-			jobs = append(jobs, Job{b, c.tag, machine("4", c.rc)})
-		}
-	}
-	set := Execute(jobs, opts, nil)
 
 	for _, suite := range []struct {
 		name  string
@@ -158,7 +145,7 @@ func Fig10(w io.Writer, opts Options) *Set {
 		for _, b := range suite.profs {
 			row := []string{b.Name}
 			for _, c := range cols {
-				sp := set.Speedup(b.Name, "BASE", c)
+				sp := set.Speedup(b.Name, "4w/BASE", "4w/"+c)
 				row = append(row, F(sp))
 				means[c] = append(means[c], sp)
 			}
@@ -174,10 +161,10 @@ func Fig10(w io.Writer, opts Options) *Set {
 	// cuts IT size by 50% and accesses by ~56% versus full integration.
 	var renoAcc, fiAcc uint64
 	for _, b := range all {
-		if r := set.Get(b.Name, "RENO"); r != nil {
+		if r := set.Get(b.Name, "4w/RENO"); r != nil {
 			renoAcc += r.Res.ITLookups + r.Res.ITInserts
 		}
-		if r := set.Get(b.Name, "RENO+FI"); r != nil {
+		if r := set.Get(b.Name, "4w/RENO+FI"); r != nil {
 			fiAcc += r.Res.ITLookups + r.Res.ITInserts
 		}
 	}
@@ -188,34 +175,37 @@ func Fig10(w io.Writer, opts Options) *Set {
 	return set
 }
 
+// renoAxis is the Figure 11/12 RENO configuration axis: paper labels
+// (column headers) paired with their canonical grid config names.
+var renoAxis = []struct{ label, cfg string }{
+	{"BASE", "BASE"}, {"CF+ME", "ME+CF"}, {"RA+CSE", "RENO"},
+}
+
+// renoAxisHeaders builds a table header row from the axis labels.
+func renoAxisHeaders(first string) []string {
+	cols := []string{first}
+	for _, c := range renoAxis {
+		cols = append(cols, c.label)
+	}
+	return cols
+}
+
 // Fig11 regenerates Figure 11: RENO compensating for reduced physical
 // register files (top) and reduced issue width (bottom). Values are
 // performance relative to the full-size RENO-less baseline (=100).
 func Fig11(w io.Writer, opts Options) {
 	spec, media := Suites()
 
-	renoCfgs := []struct {
-		tag string
-		rc  reno.Config
-	}{
-		{"BASE", reno.Baseline(0)}, // PhysRegs filled per sweep point
-		{"CF+ME", reno.MECF(0)},
-		{"RA+CSE", reno.Default(0)},
+	// Top: register file sweep ("4w" is the 160-preg default).
+	pregMachines := map[int]string{96: "4w:p96", 112: "4w:p112", 128: "4w:p128", 160: "4w"}
+	set, err := ExecuteGrid(sweep.Grid{
+		Benches:        []string{"all"},
+		MachineConfigs: []string{"4w:p96", "4w:p112", "4w:p128", "4w"},
+		RenoConfigs:    []string{"BASE", "ME+CF", "RENO"},
+	}, opts, nil)
+	if err != nil {
+		panic(err)
 	}
-
-	// Top: register file sweep.
-	var jobs []Job
-	all := append(append([]workload.Profile{}, spec...), media...)
-	for _, b := range all {
-		for _, n := range []int{96, 112, 128, 160} {
-			for _, c := range renoCfgs {
-				rc := c.rc
-				rc.PhysRegs = n
-				jobs = append(jobs, Job{b, fmt.Sprintf("%s/p%d", c.tag, n), machine("4", rc)})
-			}
-		}
-	}
-	set := Execute(jobs, opts, nil)
 
 	for _, suite := range []struct {
 		name  string
@@ -223,14 +213,14 @@ func Fig11(w io.Writer, opts Options) {
 	}{{"SPECint", spec}, {"MediaBench", media}} {
 		tb := &Table{
 			Title:   fmt.Sprintf("Figure 11 top (%s): relative performance (100 = 160-preg RENO-less baseline)", suite.name),
-			Columns: []string{"pregs", "BASE", "CF+ME", "RA+CSE"},
+			Columns: renoAxisHeaders("pregs"),
 		}
 		for _, n := range []int{96, 112, 128, 160} {
 			row := []string{fmt.Sprint(n)}
-			for _, c := range renoCfgs {
+			for _, c := range renoAxis {
 				var vals []float64
 				for _, b := range suite.profs {
-					vals = append(vals, set.RelPerf(b.Name, "BASE/p160", fmt.Sprintf("%s/p%d", c.tag, n)))
+					vals = append(vals, set.RelPerf(b.Name, "4w/BASE", pregMachines[n]+"/"+c.cfg))
 				}
 				row = append(row, F(MeanPct(vals)))
 			}
@@ -241,23 +231,15 @@ func Fig11(w io.Writer, opts Options) {
 	}
 
 	// Bottom: issue width sweep.
-	widths := []struct {
-		tag  string
-		ints int
-		tot  int
-	}{{"i2t2", 2, 2}, {"i2t3", 2, 3}, {"i3t4", 3, 4}}
-	jobs = jobs[:0]
-	for _, b := range all {
-		for _, wd := range widths {
-			for _, c := range renoCfgs {
-				rc := c.rc
-				rc.PhysRegs = 160
-				cfg := pipeline.FourWide(rc).WithIssue(wd.ints, wd.tot)
-				jobs = append(jobs, Job{b, c.tag + "/" + wd.tag, cfg})
-			}
-		}
+	widths := []string{"i2t2", "i2t3", "i3t4"}
+	set, err = ExecuteGrid(sweep.Grid{
+		Benches:        []string{"all"},
+		MachineConfigs: []string{"4w:i2t2", "4w:i2t3", "4w:i3t4"},
+		RenoConfigs:    []string{"BASE", "ME+CF", "RENO"},
+	}, opts, nil)
+	if err != nil {
+		panic(err)
 	}
-	set = Execute(jobs, opts, nil)
 
 	for _, suite := range []struct {
 		name  string
@@ -265,14 +247,14 @@ func Fig11(w io.Writer, opts Options) {
 	}{{"SPECint", spec}, {"MediaBench", media}} {
 		tb := &Table{
 			Title:   fmt.Sprintf("Figure 11 bottom (%s): relative performance (100 = i3t4 RENO-less baseline)", suite.name),
-			Columns: []string{"issue", "BASE", "CF+ME", "RA+CSE"},
+			Columns: renoAxisHeaders("issue"),
 		}
 		for _, wd := range widths {
-			row := []string{wd.tag}
-			for _, c := range renoCfgs {
+			row := []string{wd}
+			for _, c := range renoAxis {
 				var vals []float64
 				for _, b := range suite.profs {
-					vals = append(vals, set.RelPerf(b.Name, "BASE/i3t4", c.tag+"/"+wd.tag))
+					vals = append(vals, set.RelPerf(b.Name, "4w:i3t4/BASE", "4w:"+wd+"/"+c.cfg))
 				}
 				row = append(row, F(MeanPct(vals)))
 			}
@@ -287,26 +269,17 @@ func Fig11(w io.Writer, opts Options) {
 // scheduling loop. Values relative to the 1-cycle RENO-less baseline.
 func Fig12(w io.Writer, opts Options) {
 	spec, media := Suites()
-	all := append(append([]workload.Profile{}, spec...), media...)
 
-	cfgs := []struct {
-		tag string
-		rc  reno.Config
-	}{
-		{"BASE", reno.Baseline(160)},
-		{"CF+ME", reno.MECF(160)},
-		{"RA+CSE", reno.Default(160)},
+	// "4w" has the 1-cycle wakeup-select loop; "4w:s2" stretches it to 2.
+	loopMachines := map[int]string{1: "4w", 2: "4w:s2"}
+	set, err := ExecuteGrid(sweep.Grid{
+		Benches:        []string{"all"},
+		MachineConfigs: []string{"4w", "4w:s2"},
+		RenoConfigs:    []string{"BASE", "ME+CF", "RENO"},
+	}, opts, nil)
+	if err != nil {
+		panic(err)
 	}
-	var jobs []Job
-	for _, b := range all {
-		for _, loop := range []int{1, 2} {
-			for _, c := range cfgs {
-				cfg := pipeline.FourWide(c.rc).WithSchedLoop(loop)
-				jobs = append(jobs, Job{b, fmt.Sprintf("%s/%dc", c.tag, loop), cfg})
-			}
-		}
-	}
-	set := Execute(jobs, opts, nil)
 
 	for _, suite := range []struct {
 		name  string
@@ -314,14 +287,14 @@ func Fig12(w io.Writer, opts Options) {
 	}{{"SPECint", spec}, {"MediaBench", media}} {
 		tb := &Table{
 			Title:   fmt.Sprintf("Figure 12 (%s): relative performance (100 = 1-cycle-loop RENO-less baseline)", suite.name),
-			Columns: []string{"schedloop", "BASE", "CF+ME", "RA+CSE"},
+			Columns: renoAxisHeaders("schedloop"),
 		}
 		for _, loop := range []int{1, 2} {
 			row := []string{fmt.Sprintf("%dc", loop)}
-			for _, c := range cfgs {
+			for _, c := range renoAxis {
 				var vals []float64
 				for _, b := range suite.profs {
-					vals = append(vals, set.RelPerf(b.Name, "BASE/1c", fmt.Sprintf("%s/%dc", c.tag, loop)))
+					vals = append(vals, set.RelPerf(b.Name, "4w/BASE", loopMachines[loop]+"/"+c.cfg))
 				}
 				row = append(row, F(MeanPct(vals)))
 			}
@@ -406,9 +379,9 @@ func CFLatencyAblation(w io.Writer, opts Options) {
 	var jobs []Job
 	for _, b := range all {
 		jobs = append(jobs,
-			Job{b, "BASE", machine("4", reno.Baseline(160))},
-			Job{b, "CF-free", machine("4", free)},
-			Job{b, "CF-penal", machine("4", slow)},
+			Job{Bench: b, CfgTag: "BASE", Cfg: machine("4", reno.Baseline(160))},
+			Job{Bench: b, CfgTag: "CF-free", Cfg: machine("4", free)},
+			Job{Bench: b, CfgTag: "CF-penal", Cfg: machine("4", slow)},
 		)
 	}
 	set := Execute(jobs, opts, nil)

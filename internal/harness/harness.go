@@ -9,12 +9,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"reno/internal/pipeline"
 	"reno/internal/reno"
+	"reno/internal/sweep"
 	"reno/internal/workload"
 )
 
@@ -25,13 +26,29 @@ type Options struct {
 	Scale float64
 	// MaxInsts caps the timed instructions per run (0 = to completion).
 	MaxInsts uint64
-	// Parallel runs benchmarks concurrently (one goroutine per run).
+	// Parallel runs benchmarks concurrently on the sweep worker pool.
 	Parallel bool
+	// Workers bounds pool concurrency; 0 means GOMAXPROCS when Parallel,
+	// 1 otherwise.
+	Workers int
 }
 
 // DefaultOptions returns laptop-scale settings.
 func DefaultOptions() Options {
 	return Options{Scale: 1.0, MaxInsts: 300_000, Parallel: true}
+}
+
+// workers resolves the effective pool width. Parallel=false always means
+// serial (renobench documents -workers as ignored with -serial); Workers
+// only widens a parallel pool.
+func (o Options) workers() int {
+	if !o.Parallel {
+		return 1
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Run is one (benchmark, configuration) measurement.
@@ -80,88 +97,81 @@ func (s *Set) RelPerf(bench, base, config string) float64 {
 	return 100 * float64(b.Res.Cycles) / float64(c.Res.Cycles)
 }
 
-// Job is one pending simulation.
+// Job is one pending simulation. Seed is the workload seed offset (0 = the
+// benchmark's canonical program; see sweep.SeedProfile).
 type Job struct {
 	Bench  workload.Profile
 	CfgTag string
 	Cfg    pipeline.Config
+	Seed   int64
 }
 
-// Execute runs all jobs, honoring opts, checking that every configuration
-// of a benchmark reaches the same architectural state.
+// Execute runs all jobs on the sweep worker pool, honoring opts, checking
+// that every configuration of a benchmark reaches the same architectural
+// state.
 func Execute(jobs []Job, opts Options, progress io.Writer) *Set {
+	sjobs := make([]sweep.Job, len(jobs))
+	for i, j := range jobs {
+		sjobs[i] = sweep.Job{Profile: j.Bench, Config: j.CfgTag, Seed: j.Seed, Cfg: j.Cfg}
+	}
+	sopts := sweep.Options{Workers: opts.workers(), Scale: opts.Scale, MaxInsts: opts.MaxInsts}
+	if progress != nil {
+		sopts.Progress = func(done, total int, r *sweep.Result) {
+			if r.Err != "" {
+				fmt.Fprintf(progress, "  %-10s %-14s ERROR %s\n", r.Bench, r.Tag(), r.Err)
+				return
+			}
+			fmt.Fprintf(progress, "  %-10s %-14s IPC %.3f elim %.1f%%\n",
+				r.Bench, r.Tag(), r.IPC, r.ElimTotal)
+		}
+	}
+	results := sweep.Run(sjobs, sopts)
+	return newSet(results, progress)
+}
+
+// ExecuteGrid expands a declarative grid and runs it; run tags follow
+// sweep.Job.Tag ("machine/config", "@s<seed>" for non-zero seeds). The
+// grid's own Scale/MaxInsts/Workers fields are ignored in favor of opts, so
+// figure code carries one source of execution knobs.
+func ExecuteGrid(g sweep.Grid, opts Options, progress io.Writer) (*Set, error) {
+	jobs, err := g.Expand()
+	if err != nil {
+		return nil, err
+	}
+	hjobs := make([]Job, len(jobs))
+	for i, j := range jobs {
+		hjobs[i] = Job{Bench: j.Profile, CfgTag: j.Tag(), Cfg: j.Cfg, Seed: j.Seed}
+	}
+	return Execute(hjobs, opts, progress), nil
+}
+
+// newSet indexes sweep results into a Set and prints the architectural
+// equivalence audit.
+func newSet(results []*sweep.Result, progress io.Writer) *Set {
 	set := &Set{Runs: map[string]*Run{}}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel(opts))
-
-	// Build each distinct workload once.
-	progs := map[string]*workload.Program{}
-	warms := map[string]uint64{}
-	for _, j := range jobs {
-		if _, ok := progs[j.Bench.Name]; ok {
-			continue
+	for _, r := range results {
+		if r.BuildFailed() {
+			// Benchmark profiles are static data; a workload that won't
+			// build is a programming error, and the pre-sweep Execute
+			// panicked on it. Keep that loudness: figures pass a nil
+			// progress writer, so a quiet per-run error would vanish.
+			panic(fmt.Sprintf("workload %s: %s", r.Bench, r.Err))
 		}
-		w, err := workload.Build(workload.Scale(j.Bench, opts.Scale))
-		if err != nil {
-			panic(err)
+		// Execute always routes the full display tag through Config (with
+		// Machine left empty), so r.Config is already the Set key's
+		// configuration axis — including any @s<seed> suffix.
+		run := &Run{Bench: r.Bench, Suite: r.Suite, Config: r.Config, Res: r.Pipeline, Hash: r.ArchHashU64()}
+		if r.Err != "" {
+			run.Err = fmt.Errorf("%s", r.Err)
 		}
-		warm, err := w.WarmupCount()
-		if err != nil {
-			panic(err)
-		}
-		progs[j.Bench.Name] = w
-		warms[j.Bench.Name] = warm
+		set.Runs[run.key()] = run
 	}
-
-	for _, j := range jobs {
-		j := j
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			w := progs[j.Bench.Name]
-			res, hash, err := pipeline.RunProgram(j.Cfg, w.Code, warms[j.Bench.Name], opts.MaxInsts)
-			run := &Run{Bench: j.Bench.Name, Suite: j.Bench.Suite, Config: j.CfgTag, Res: res, Hash: hash, Err: err}
-			mu.Lock()
-			set.Runs[run.key()] = run
-			if progress != nil {
-				if err != nil {
-					fmt.Fprintf(progress, "  %-10s %-14s ERROR %v\n", j.Bench.Name, j.CfgTag, err)
-				} else {
-					fmt.Fprintf(progress, "  %-10s %-14s IPC %.3f elim %.1f%%\n",
-						j.Bench.Name, j.CfgTag, res.IPC, res.ElimTotal)
-				}
-			}
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-
-	// Architectural-equivalence audit across configurations.
-	byBench := map[string][]*Run{}
-	for _, r := range set.Runs {
-		if r.Err == nil {
-			byBench[r.Bench] = append(byBench[r.Bench], r)
-		}
-	}
-	for bench, rs := range byBench {
-		for _, r := range rs[1:] {
-			if r.Hash != rs[0].Hash && progress != nil {
-				fmt.Fprintf(progress, "  WARNING: %s: architectural state differs between %s and %s\n",
-					bench, rs[0].Config, r.Config)
-			}
+	if progress != nil {
+		for _, w := range sweep.Audit(results) {
+			fmt.Fprintf(progress, "  WARNING: %s\n", w)
 		}
 	}
 	return set
-}
-
-func maxParallel(o Options) int {
-	if o.Parallel {
-		return 8
-	}
-	return 1
 }
 
 // Suites returns the benchmark lists used by every figure.

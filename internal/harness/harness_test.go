@@ -18,8 +18,8 @@ func tinyOpts() Options {
 func TestExecuteAndSpeedup(t *testing.T) {
 	prof, _ := workload.ByName("gzip")
 	jobs := []Job{
-		{prof, "base", pipeline.FourWide(reno.Baseline(160))},
-		{prof, "reno", pipeline.FourWide(reno.Default(160))},
+		{Bench: prof, CfgTag: "base", Cfg: pipeline.FourWide(reno.Baseline(160))},
+		{Bench: prof, CfgTag: "reno", Cfg: pipeline.FourWide(reno.Default(160))},
 	}
 	set := Execute(jobs, tinyOpts(), nil)
 	if set.Get("gzip", "base") == nil || set.Get("gzip", "reno") == nil {
@@ -46,7 +46,7 @@ func TestArchitecturalEquivalenceAcrossConfigs(t *testing.T) {
 		prof, _ := workload.ByName(name)
 		var jobs []Job
 		for tag, rc := range RenoConfigs(160) {
-			jobs = append(jobs, Job{prof, tag, pipeline.FourWide(rc)})
+			jobs = append(jobs, Job{Bench: prof, CfgTag: tag, Cfg: pipeline.FourWide(rc)})
 		}
 		opts := Options{Scale: 0.1, MaxInsts: 0, Parallel: true} // to completion
 		set := Execute(jobs, opts, nil)
@@ -77,7 +77,7 @@ func TestEliminationRatesInPaperBands(t *testing.T) {
 		n := 0
 		for _, p := range profs[:6] { // subset for test runtime
 			var jobs []Job
-			jobs = append(jobs, Job{p, "reno", pipeline.FourWide(reno.Default(160))})
+			jobs = append(jobs, Job{Bench: p, CfgTag: "reno", Cfg: pipeline.FourWide(reno.Default(160))})
 			set := Execute(jobs, tinyOpts(), nil)
 			if r := set.Get(p.Name, "reno"); r != nil {
 				tot += r.Res.ElimTotal
@@ -100,8 +100,8 @@ func TestRenoBeatsBaselineOnAverage(t *testing.T) {
 		var jobs []Job
 		for _, p := range profs {
 			jobs = append(jobs,
-				Job{p, "base", pipeline.FourWide(reno.Baseline(160))},
-				Job{p, "reno", pipeline.FourWide(reno.Default(160))})
+				Job{Bench: p, CfgTag: "base", Cfg: pipeline.FourWide(reno.Baseline(160))},
+				Job{Bench: p, CfgTag: "reno", Cfg: pipeline.FourWide(reno.Default(160))})
 		}
 		set := Execute(jobs, tinyOpts(), nil)
 		var sps []float64
@@ -192,7 +192,7 @@ func TestRenoConfigsComplete(t *testing.T) {
 
 func TestDump(t *testing.T) {
 	prof, _ := workload.ByName("gzip")
-	set := Execute([]Job{{prof, "base", pipeline.FourWide(reno.Baseline(160))}},
+	set := Execute([]Job{{Bench: prof, CfgTag: "base", Cfg: pipeline.FourWide(reno.Baseline(160))}},
 		Options{Scale: 0.05, MaxInsts: 3_000, Parallel: false}, io.Discard)
 	var b strings.Builder
 	set.Dump(&b)

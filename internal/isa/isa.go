@@ -411,7 +411,15 @@ func (i Inst) String() string {
 		if i.Op == OpLd {
 			return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs)
 		}
-		if IsMove(i) {
+		if i.Op == OpLui {
+			// lui takes no register source; the assembler's syntax is
+			// "lui rd, imm", so render the same form.
+			return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+		}
+		if IsMove(i) && i.Op == OpAddi {
+			// Only the addi form is the assembler's move pseudo-op; an
+			// ori-encoded move must disassemble as ori so that
+			// reassembly preserves the binary image.
 			return fmt.Sprintf("move %s, %s", i.Rd, i.Rs)
 		}
 		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs, i.Imm)

@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Report is the serialized form of a completed sweep: the grid that produced
+// it, one record per run (in job order), and aggregate totals.
+type Report struct {
+	Grid    Grid      `json:"grid"`
+	Summary Summary   `json:"summary"`
+	Results []*Result `json:"results"`
+}
+
+// EmitOptions controls serialization.
+type EmitOptions struct {
+	// Deterministic zeroes wall-clock fields so the emitted bytes are
+	// identical across runs and worker counts (for diffing and CI).
+	Deterministic bool
+}
+
+// NewReport assembles a Report from a grid and its results.
+func NewReport(g Grid, results []*Result) *Report {
+	return &Report{Grid: g, Summary: Summarize(results), Results: results}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer, opts EmitOptions) error {
+	out := rep
+	if opts.Deterministic {
+		out = rep.stripped()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// stripped returns a deep-enough copy with wall-clock fields zeroed.
+// Workers is a scheduling knob with no effect on outcomes, so it is zeroed
+// too: two deterministic emissions of the same grid are byte-identical
+// whatever pool width produced them.
+func (rep *Report) stripped() *Report {
+	cp := *rep
+	cp.Grid.Workers = 0
+	cp.Summary.WallNS = 0
+	cp.Results = make([]*Result, len(rep.Results))
+	for i, r := range rep.Results {
+		if r == nil {
+			continue
+		}
+		rc := *r
+		rc.WallNS = 0
+		rc.SimInstsPerSec = 0
+		cp.Results[i] = &rc
+	}
+	return &cp
+}
+
+// csvHeader is the column order of WriteCSV.
+var csvHeader = []string{
+	"bench", "suite", "machine", "config", "seed",
+	"cycles", "insts", "ipc",
+	"elim_me", "elim_cf", "elim_loads", "elim_alu", "elim_total",
+	"branch_accuracy", "arch_hash", "run_hash", "wall_ns", "error",
+}
+
+// WriteCSV writes one row per run in job order.
+func (rep *Report) WriteCSV(w io.Writer, opts EmitOptions) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range rep.Results {
+		if r == nil {
+			continue
+		}
+		wall := strconv.FormatInt(r.WallNS, 10)
+		if opts.Deterministic {
+			wall = "0"
+		}
+		row := []string{
+			r.Bench, r.Suite, r.Machine, r.Config, strconv.FormatInt(r.Seed, 10),
+			strconv.FormatUint(r.Cycles, 10), strconv.FormatUint(r.Insts, 10), f(r.IPC),
+			f(r.ElimME), f(r.ElimCF), f(r.ElimLoads), f(r.ElimALU), f(r.ElimTotal),
+			f(r.BranchAccuracy), r.ArchHash, r.Hash, wall, r.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,231 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"reno/internal/pipeline"
+	"reno/internal/reno"
+	"reno/internal/workload"
+)
+
+// Grid is a declarative experiment grid: the cross product of benchmarks,
+// machine configurations, RENO configurations, and seeds. Its JSON form is
+// the input format of cmd/renosweep (see docs/sweep.md).
+type Grid struct {
+	// Benches names workloads: exact benchmark names ("gzip", "gsm.de"),
+	// suite aliases ("SPECint"/"spec", "MediaBench"/"media", "all"), or
+	// micro kernels ("micro.<kernel>"). Duplicates are dropped.
+	Benches []string `json:"benches"`
+
+	// MachineConfigs are machine specs: a base width "4w" or "6w" plus
+	// optional colon-separated modifiers — "p<N>" (physical registers),
+	// "i<A>t<T>" (integer ALUs / total issue), "s<N>" (scheduling loop).
+	// Example: "4w:p128:s2". Empty means ["4w"].
+	MachineConfigs []string `json:"machines"`
+
+	// RenoConfigs are RENO configuration names (see RenoNames). Empty
+	// means ["BASE", "RENO"].
+	RenoConfigs []string `json:"renos"`
+
+	// Seeds are workload seed offsets; empty means [0] (the canonical
+	// per-benchmark program). Each non-zero seed generates a distinct but
+	// deterministic variant of every benchmark's code.
+	Seeds []int64 `json:"seeds,omitempty"`
+
+	// Scale multiplies workload iteration counts (0 = 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// MaxInsts caps timed instructions per run (0 = to completion).
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// Workers bounds pool concurrency (0 = runtime.GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// RenoNames lists the named RENO configurations a grid may reference, in
+// canonical order.
+func RenoNames() []string {
+	return []string{"BASE", "ME", "ME+CF", "RENO", "RENO+FI", "FullInteg", "LoadsInteg"}
+}
+
+// RenoByName returns the named RENO configuration with PhysRegs unset (the
+// machine spec supplies the register file size).
+func RenoByName(name string) (reno.Config, error) {
+	switch name {
+	case "BASE":
+		return reno.Baseline(0), nil
+	case "ME":
+		return reno.Config{EnableME: true}, nil
+	case "ME+CF":
+		return reno.MECF(0), nil
+	case "RENO":
+		return reno.Default(0), nil
+	case "RENO+FI":
+		return reno.RENOPlusFullIntegration(0), nil
+	case "FullInteg":
+		return reno.FullIntegration(0), nil
+	case "LoadsInteg":
+		return reno.LoadsIntegration(0), nil
+	}
+	return reno.Config{}, fmt.Errorf("unknown RENO config %q (known: %s)",
+		name, strings.Join(RenoNames(), ", "))
+}
+
+// ParseMachine builds the pipeline configuration for a machine spec,
+// instantiated with the given RENO configuration.
+func ParseMachine(spec string, rc reno.Config) (pipeline.Config, error) {
+	parts := strings.Split(spec, ":")
+	var cfg pipeline.Config
+	switch parts[0] {
+	case "4w", "4":
+		cfg = pipeline.FourWide(rc)
+	case "6w", "6":
+		cfg = pipeline.SixWide(rc)
+	default:
+		return pipeline.Config{}, fmt.Errorf("machine %q: unknown base %q (want 4w or 6w)", spec, parts[0])
+	}
+	for _, mod := range parts[1:] {
+		switch {
+		case strings.HasPrefix(mod, "p"):
+			n, err := strconv.Atoi(mod[1:])
+			if err != nil || n <= 0 {
+				return pipeline.Config{}, fmt.Errorf("machine %q: bad register-file modifier %q", spec, mod)
+			}
+			cfg = cfg.WithPhysRegs(n)
+		case strings.HasPrefix(mod, "i"):
+			var ints, tot int
+			if _, err := fmt.Sscanf(mod, "i%dt%d", &ints, &tot); err != nil || ints <= 0 || tot < ints {
+				return pipeline.Config{}, fmt.Errorf("machine %q: bad issue modifier %q (want i<A>t<T>)", spec, mod)
+			}
+			cfg = cfg.WithIssue(ints, tot)
+		case strings.HasPrefix(mod, "s"):
+			n, err := strconv.Atoi(mod[1:])
+			if err != nil || n <= 0 {
+				return pipeline.Config{}, fmt.Errorf("machine %q: bad scheduling-loop modifier %q", spec, mod)
+			}
+			cfg = cfg.WithSchedLoop(n)
+		default:
+			return pipeline.Config{}, fmt.Errorf("machine %q: unknown modifier %q", spec, mod)
+		}
+	}
+	return cfg, nil
+}
+
+// resolveBenches expands bench names and suite aliases into profiles,
+// preserving first-mention order and dropping duplicates.
+func resolveBenches(names []string) ([]workload.Profile, error) {
+	var out []workload.Profile
+	seen := map[string]bool{}
+	add := func(ps ...workload.Profile) {
+		for _, p := range ps {
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, name := range names {
+		switch strings.ToLower(name) {
+		case "all":
+			add(workload.AllProfiles()...)
+		case "spec", "specint":
+			add(workload.SPECint()...)
+		case "media", "mediabench":
+			add(workload.MediaBench()...)
+		default:
+			if p, ok := workload.ByName(name); ok {
+				add(p)
+				continue
+			}
+			if k, ok := kernelByName(strings.TrimPrefix(name, "micro.")); ok && strings.HasPrefix(name, "micro.") {
+				add(workload.Micro(k, 20, 20))
+				continue
+			}
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("grid names no benchmarks")
+	}
+	return out, nil
+}
+
+// kernelByName maps a kernel name ("sweep", "chase", ...) to its kind.
+func kernelByName(name string) (workload.KernelKind, bool) {
+	for k := workload.KArraySweep; k <= workload.KMemcpy; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Expand crosses the grid into one Job per (bench, machine, reno, seed), in
+// bench-major order. Machine and RENO lists apply their documented defaults
+// when empty.
+func (g Grid) Expand() ([]Job, error) {
+	benches, err := resolveBenches(g.Benches)
+	if err != nil {
+		return nil, err
+	}
+	machines := g.MachineConfigs
+	if len(machines) == 0 {
+		machines = []string{"4w"}
+	}
+	renos := g.RenoConfigs
+	if len(renos) == 0 {
+		renos = []string{"BASE", "RENO"}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+
+	// Validate the config axes once, not once per benchmark.
+	type axis struct {
+		machine, renoTag string
+		cfg              pipeline.Config
+	}
+	var axes []axis
+	for _, m := range machines {
+		for _, rn := range renos {
+			rc, err := RenoByName(rn)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := ParseMachine(m, rc)
+			if err != nil {
+				return nil, err
+			}
+			axes = append(axes, axis{m, rn, cfg})
+		}
+	}
+
+	jobs := make([]Job, 0, len(benches)*len(axes)*len(seeds))
+	for _, b := range benches {
+		for _, ax := range axes {
+			for _, s := range seeds {
+				jobs = append(jobs, Job{Profile: b, Machine: ax.machine, Config: ax.renoTag, Seed: s, Cfg: ax.cfg})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// Options derives pool options from the grid's execution knobs.
+func (g Grid) Options() Options {
+	return Options{Workers: g.Workers, Scale: g.Scale, MaxInsts: g.MaxInsts}
+}
+
+// ParseGridJSON decodes a Grid from its JSON form, rejecting unknown fields
+// so spec typos fail loudly instead of silently defaulting.
+func ParseGridJSON(data []byte) (Grid, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("grid spec: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"reno/internal/workload"
+)
+
+func TestExpandCrossProduct(t *testing.T) {
+	g := Grid{
+		Benches:        []string{"gzip", "gsm.de", "gzip"}, // duplicate dropped
+		MachineConfigs: []string{"4w", "6w"},
+		RenoConfigs:    []string{"BASE", "ME+CF", "RENO"},
+		Seeds:          []int64{0, 5},
+	}
+	jobs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 3 * 2; len(jobs) != want {
+		t.Fatalf("expanded %d jobs, want %d", len(jobs), want)
+	}
+	// Bench-major order, first job fully canonical.
+	j := jobs[0]
+	if j.Profile.Name != "gzip" || j.Machine != "4w" || j.Config != "BASE" || j.Seed != 0 {
+		t.Errorf("first job %+v", j)
+	}
+	if j.Tag() != "4w/BASE" {
+		t.Errorf("tag %q", j.Tag())
+	}
+	if tag := jobs[1].Tag(); tag != "4w/BASE@s5" {
+		t.Errorf("seeded tag %q", tag)
+	}
+}
+
+func TestExpandDefaults(t *testing.T) {
+	jobs, err := Grid{Benches: []string{"gzip"}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 { // 1 bench × [4w] × [BASE RENO] × [0]
+		t.Fatalf("expanded %d jobs, want 2", len(jobs))
+	}
+}
+
+func TestExpandSuiteAliases(t *testing.T) {
+	spec := len(workload.SPECint())
+	media := len(workload.MediaBench())
+	for _, tc := range []struct {
+		names []string
+		want  int
+	}{
+		{[]string{"all"}, spec + media},
+		{[]string{"SPECint"}, spec},
+		{[]string{"media"}, media},
+		{[]string{"spec", "gzip"}, spec}, // member of an already-added suite
+		{[]string{"micro.chase"}, 1},
+	} {
+		jobs, err := Grid{Benches: tc.names, RenoConfigs: []string{"BASE"}}.Expand()
+		if err != nil {
+			t.Fatalf("%v: %v", tc.names, err)
+		}
+		if len(jobs) != tc.want {
+			t.Errorf("%v: %d jobs, want %d", tc.names, len(jobs), tc.want)
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	for _, g := range []Grid{
+		{},
+		{Benches: []string{"no-such-bench"}},
+		{Benches: []string{"gzip"}, MachineConfigs: []string{"8w"}},
+		{Benches: []string{"gzip"}, MachineConfigs: []string{"4w:q9"}},
+		{Benches: []string{"gzip"}, MachineConfigs: []string{"4w:p-5"}},
+		{Benches: []string{"gzip"}, MachineConfigs: []string{"4w:i3t1"}},
+		{Benches: []string{"gzip"}, RenoConfigs: []string{"TURBO"}},
+	} {
+		if _, err := g.Expand(); err == nil {
+			t.Errorf("grid %+v expanded without error", g)
+		}
+	}
+}
+
+func TestParseMachineModifiers(t *testing.T) {
+	rc, err := RenoByName("RENO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseMachine("4w:p128:i2t3:s2", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Reno.PhysRegs != 128 || cfg.IntALUs != 2 || cfg.IssueTotal != 3 || cfg.SchedLoop != 2 {
+		t.Errorf("modifiers not applied: %+v", cfg)
+	}
+	if cfg6, _ := ParseMachine("6w", rc); cfg6.FetchWidth != 6 {
+		t.Errorf("6w fetch width %d", cfg6.FetchWidth)
+	}
+}
+
+func TestRenoByNameCoversAllNames(t *testing.T) {
+	for _, name := range RenoNames() {
+		rc, err := RenoByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if rc.PhysRegs != 0 {
+			t.Errorf("%s: PhysRegs %d pre-set; the machine spec owns the register file", name, rc.PhysRegs)
+		}
+	}
+}
+
+func TestParseGridJSON(t *testing.T) {
+	g, err := ParseGridJSON([]byte(`{
+		"benches": ["gzip"],
+		"machines": ["4w:p128"],
+		"renos": ["RENO"],
+		"seeds": [0, 1],
+		"scale": 0.5,
+		"max_insts": 1000
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Scale != 0.5 || g.MaxInsts != 1000 || len(g.Seeds) != 2 {
+		t.Errorf("parsed grid %+v", g)
+	}
+	if _, err := ParseGridJSON([]byte(`{"benchs": ["typo"]}`)); err == nil {
+		t.Error("unknown field accepted")
+	} else if !strings.Contains(err.Error(), "benchs") {
+		t.Errorf("unhelpful error %v", err)
+	}
+}
+
+func TestSeedProfileStrideAvoidsNeighborCollision(t *testing.T) {
+	a, _ := workload.ByName("bzip2") // canonical seeds are adjacent ints
+	b, _ := workload.ByName("crafty")
+	for s := int64(0); s < 8; s++ {
+		if SeedProfile(a, s).Seed == b.Seed {
+			t.Errorf("seed offset %d collides bzip2 with crafty", s)
+		}
+	}
+	if SeedProfile(a, 0).Seed != a.Seed {
+		t.Error("seed 0 must be the canonical program")
+	}
+}

@@ -1,0 +1,351 @@
+// Package sweep executes declarative experiment grids on a bounded worker
+// pool and emits machine-readable results.
+//
+// A Grid names benchmarks, machine configurations, RENO configurations, and
+// seeds; Expand crosses them into Jobs; Run executes the jobs on a fixed
+// number of workers (default runtime.GOMAXPROCS) pulling batches of job
+// indices from a channel, so a ten-thousand-run sweep costs tens of
+// goroutines, not ten thousand. Every run is seeded deterministically from
+// its (benchmark, seed) pair, timed individually, and summarized by a stable
+// FNV-1a hash over its architectural and performance outcome — the hash is
+// independent of worker count and wall-clock, so two sweeps of the same grid
+// can be diffed run-by-run regardless of how they were scheduled.
+//
+// The harness package's figure generators run on top of this pool; the
+// renosweep command exposes it directly.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"reno/internal/pipeline"
+	"reno/internal/workload"
+)
+
+// Job is one pending (benchmark, machine, RENO config, seed) simulation.
+// Profile carries the benchmark's base profile; Seed is the grid's seed
+// offset, applied to the profile's own seed when the workload is built.
+type Job struct {
+	Profile workload.Profile
+	Machine string // machine spec tag ("4w", "4w:p128", ... or free-form)
+	Config  string // RENO configuration tag
+	Seed    int64  // seed offset (0 = the profile's canonical program)
+	Cfg     pipeline.Config
+}
+
+// Tag returns the run's configuration axis label: "machine/config", with
+// "@s<seed>" appended for non-zero seeds. When no machine spec was recorded
+// (low-level callers that prebuilt their own Cfg — e.g. harness.Execute),
+// Config is taken verbatim as the caller's complete tag, seed suffix
+// included if the caller wanted one.
+func (j Job) Tag() string {
+	if j.Machine == "" {
+		return j.Config
+	}
+	tag := j.Machine + "/" + j.Config
+	if j.Seed != 0 {
+		tag += "@s" + strconv.FormatInt(j.Seed, 10)
+	}
+	return tag
+}
+
+// Result is one completed run. Fields under the json tags form the stable
+// machine-readable record; Pipeline retains the full simulator result for
+// in-process consumers (tables, audits) and is not serialized.
+type Result struct {
+	Bench   string `json:"bench"`
+	Suite   string `json:"suite"`
+	Machine string `json:"machine,omitempty"`
+	Config  string `json:"config"`
+	Seed    int64  `json:"seed"`
+
+	Cycles uint64  `json:"cycles"`
+	Insts  uint64  `json:"insts"`
+	IPC    float64 `json:"ipc"`
+
+	ElimME    float64 `json:"elim_me"`
+	ElimCF    float64 `json:"elim_cf"`
+	ElimLoads float64 `json:"elim_loads"`
+	ElimALU   float64 `json:"elim_alu"`
+	ElimTotal float64 `json:"elim_total"`
+
+	BranchAccuracy float64 `json:"branch_accuracy"`
+
+	// ArchHash is the final architectural state hash (the cross-config
+	// equivalence witness); Hash is the stable per-run result hash over
+	// every deterministic field above.
+	ArchHash string `json:"arch_hash"`
+	Hash     string `json:"run_hash"`
+
+	// Wall-clock telemetry; excluded from Hash by construction and zeroed
+	// by deterministic emission modes.
+	WallNS         int64   `json:"wall_ns"`
+	SimInstsPerSec float64 `json:"sim_insts_per_sec"`
+
+	Err string `json:"error,omitempty"`
+
+	Pipeline *pipeline.Result `json:"-"`
+	archHash uint64
+	// buildFailed marks Err as a workload construction failure (the
+	// program never ran) rather than a simulation error.
+	buildFailed bool
+}
+
+// BuildFailed reports whether the run's workload could not even be built —
+// for static grids that is a programming error, and harness.Execute
+// restores the pre-sweep behavior of panicking on it rather than letting a
+// nil progress writer swallow the failure.
+func (r *Result) BuildFailed() bool { return r.buildFailed }
+
+// Key identifies the run within a sweep: bench/tag.
+func (r *Result) Key() string { return r.Bench + "/" + r.Tag() }
+
+// Tag mirrors Job.Tag for a completed run.
+func (r *Result) Tag() string {
+	return Job{Machine: r.Machine, Config: r.Config, Seed: r.Seed}.Tag()
+}
+
+// ArchHashU64 returns the raw architectural state hash.
+func (r *Result) ArchHashU64() uint64 { return r.archHash }
+
+// Options controls pool execution.
+type Options struct {
+	// Workers bounds pool concurrency; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Scale multiplies every workload's iteration count before building.
+	Scale float64
+	// MaxInsts caps timed instructions per run (0 = to completion).
+	MaxInsts uint64
+	// Progress, when non-nil, is called once per completed run, serialized
+	// by the pool (no locking needed in the callback). done counts
+	// completed runs including this one; total is len(jobs).
+	Progress func(done, total int, r *Result)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// built is one workload image shared by every run of a (bench, seed) pair.
+type built struct {
+	prog *workload.Program
+	warm uint64
+	err  error
+}
+
+// buildKey identifies a distinct workload build.
+func buildKey(p workload.Profile, seed int64) string {
+	return p.Name + "@" + strconv.FormatInt(seed, 10)
+}
+
+// SeedProfile returns the profile that run seed `seed` of base profile p
+// actually executes: seed 0 is the canonical program; other seeds shift the
+// generator seed by a fixed prime stride so neighboring profiles (whose
+// canonical seeds are adjacent small integers) never collide.
+func SeedProfile(p workload.Profile, seed int64) workload.Profile {
+	p.Seed += seed * 7919
+	return p
+}
+
+// Run executes jobs on the bounded pool and returns one Result per job, in
+// job order regardless of scheduling.
+func Run(jobs []Job, opts Options) []*Result {
+	results := make([]*Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	// Build each distinct (bench, seed) workload once, before the pool
+	// starts: builds are cheap relative to simulation, and a serial
+	// prebuild keeps the build cache free of locking entirely.
+	builds := map[string]*built{}
+	for _, j := range jobs {
+		k := buildKey(j.Profile, j.Seed)
+		if _, ok := builds[k]; ok {
+			continue
+		}
+		b := &built{}
+		b.prog, b.err = workload.Build(workload.Scale(SeedProfile(j.Profile, j.Seed), scaleOf(opts)))
+		if b.err == nil {
+			b.warm, b.err = b.prog.WarmupCount()
+		}
+		builds[k] = b
+	}
+
+	// Dispatch batches of contiguous job indices: a fixed worker count and
+	// coarse batches keep goroutine and channel traffic bounded even for
+	// sweeps with thousands of runs.
+	workers := min(opts.workers(), len(jobs))
+	batch := max(1, len(jobs)/(workers*8))
+	type span struct{ lo, hi int }
+	spans := make(chan span, (len(jobs)+batch-1)/batch)
+	for lo := 0; lo < len(jobs); lo += batch {
+		spans <- span{lo, min(lo+batch, len(jobs))}
+	}
+	close(spans)
+
+	var mu sync.Mutex // guards done counter + Progress serialization
+	done := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sp := range spans {
+				for i := sp.lo; i < sp.hi; i++ {
+					r := runOne(jobs[i], builds[buildKey(jobs[i].Profile, jobs[i].Seed)], opts)
+					results[i] = r
+					mu.Lock()
+					done++
+					if opts.Progress != nil {
+						opts.Progress(done, len(jobs), r)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+func scaleOf(o Options) float64 {
+	if o.Scale <= 0 {
+		return 1.0
+	}
+	return o.Scale
+}
+
+// runOne executes a single job and fills in its Result.
+func runOne(j Job, b *built, opts Options) *Result {
+	r := &Result{
+		Bench:   j.Profile.Name,
+		Suite:   j.Profile.Suite,
+		Machine: j.Machine,
+		Config:  j.Config,
+		Seed:    j.Seed,
+	}
+	if b.err != nil {
+		r.Err = b.err.Error()
+		r.buildFailed = true
+		r.Hash = hashResult(r)
+		return r
+	}
+	t0 := time.Now()
+	res, archHash, err := pipeline.RunProgram(j.Cfg, b.prog.Code, b.warm, opts.MaxInsts)
+	r.WallNS = time.Since(t0).Nanoseconds()
+	if err != nil {
+		r.Err = err.Error()
+		r.Hash = hashResult(r)
+		return r
+	}
+	r.Pipeline = res
+	r.Cycles = res.Cycles
+	r.Insts = res.Insts
+	r.IPC = res.IPC
+	r.ElimME = res.ElimME
+	r.ElimCF = res.ElimCF
+	r.ElimLoads = res.ElimLoads
+	r.ElimALU = res.ElimALU
+	r.ElimTotal = res.ElimTotal
+	r.BranchAccuracy = res.BranchAccuracy
+	r.archHash = archHash
+	r.ArchHash = fmt.Sprintf("%016x", archHash)
+	if r.WallNS > 0 {
+		r.SimInstsPerSec = float64(res.Insts) / (float64(r.WallNS) / 1e9)
+	}
+	r.Hash = hashResult(r)
+	return r
+}
+
+// hashResult computes the stable per-run hash: FNV-1a 64 over a canonical
+// rendering of every deterministic field. Wall-clock fields are deliberately
+// excluded, so the hash is invariant under worker count and machine load.
+func hashResult(r *Result) string {
+	h := fnv.New64a()
+	write := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	write(r.Bench, r.Suite, r.Machine, r.Config, strconv.FormatInt(r.Seed, 10))
+	write(strconv.FormatUint(r.Cycles, 10), strconv.FormatUint(r.Insts, 10), f(r.IPC))
+	write(f(r.ElimME), f(r.ElimCF), f(r.ElimLoads), f(r.ElimALU), f(r.ElimTotal))
+	write(f(r.BranchAccuracy), r.ArchHash, r.Err)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Audit checks architectural equivalence: every successful run of the same
+// (bench, seed) pair — whatever its machine or RENO configuration — must
+// reach the same final architectural state. It returns one warning line per
+// violating run (empty slice = clean).
+func Audit(results []*Result) []string {
+	type groupKey struct {
+		bench string
+		seed  int64
+	}
+	first := map[groupKey]*Result{}
+	var warnings []string
+	for _, r := range results {
+		if r == nil || r.Err != "" || r.Pipeline == nil {
+			continue
+		}
+		k := groupKey{r.Bench, r.Seed}
+		ref, ok := first[k]
+		if !ok {
+			first[k] = r
+			continue
+		}
+		if r.archHash != ref.archHash {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s: architectural state differs between %s and %s", r.Bench, ref.Tag(), r.Tag()))
+		}
+	}
+	return warnings
+}
+
+// Summary aggregates a sweep's totals.
+type Summary struct {
+	Runs     int     `json:"runs"`
+	Failed   int     `json:"failed"`
+	Insts    uint64  `json:"insts"`
+	Cycles   uint64  `json:"cycles"`
+	WallNS   int64   `json:"wall_ns"` // summed per-run wall time (CPU-seconds of simulation)
+	MeanIPC  float64 `json:"mean_ipc"`
+	Warnings int     `json:"audit_warnings"`
+}
+
+// Summarize computes a Summary over results plus the audit warning count.
+func Summarize(results []*Result) Summary {
+	var s Summary
+	var ipcSum float64
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		s.Runs++
+		if r.Err != "" {
+			s.Failed++
+			continue
+		}
+		s.Insts += r.Insts
+		s.Cycles += r.Cycles
+		s.WallNS += r.WallNS
+		ipcSum += r.IPC
+	}
+	if ok := s.Runs - s.Failed; ok > 0 {
+		s.MeanIPC = ipcSum / float64(ok)
+	}
+	s.Warnings = len(Audit(results))
+	return s
+}
