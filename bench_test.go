@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"io"
 	"os"
 	"sync"
@@ -41,7 +42,7 @@ func out(name string) io.Writer {
 // (E8: the 12%/17% register-immediate-addition claim).
 func BenchmarkTableMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.TableMix(out("mix"), benchOpts())
+		harness.TableMix(context.Background(), out("mix"), benchOpts())
 	}
 }
 
@@ -49,7 +50,7 @@ func BenchmarkTableMix(b *testing.B) {
 // (E1/E2): per-benchmark elimination rates and speedups at 4- and 6-wide.
 func BenchmarkFig8Eliminations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.Fig8(out("fig8"), benchOpts())
+		harness.Fig8(context.Background(), out("fig8"), benchOpts())
 	}
 }
 
@@ -59,7 +60,7 @@ func BenchmarkFig9CriticalPath(b *testing.B) {
 	opts := benchOpts()
 	opts.Scale = 0.25
 	for i := 0; i < b.N; i++ {
-		harness.Fig9(out("fig9"), opts)
+		harness.Fig9(context.Background(), out("fig9"), opts)
 	}
 }
 
@@ -67,7 +68,7 @@ func BenchmarkFig9CriticalPath(b *testing.B) {
 // labor between RENO.CF and RENO.CSE+RA, with IT bandwidth accounting.
 func BenchmarkFig10Cooperation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.Fig10(out("fig10"), benchOpts())
+		harness.Fig10(context.Background(), out("fig10"), benchOpts())
 	}
 }
 
@@ -77,7 +78,7 @@ func BenchmarkFig11Registers(b *testing.B) {
 	opts := benchOpts()
 	opts.Scale = 0.25
 	for i := 0; i < b.N; i++ {
-		harness.Fig11(out("fig11"), opts)
+		harness.Fig11(context.Background(), out("fig11"), opts)
 	}
 }
 
@@ -87,7 +88,7 @@ func BenchmarkFig12Scheduler(b *testing.B) {
 	opts := benchOpts()
 	opts.Scale = 0.25
 	for i := 0; i < b.N; i++ {
-		harness.Fig12(out("fig12"), opts)
+		harness.Fig12(context.Background(), out("fig12"), opts)
 	}
 }
 
@@ -95,7 +96,7 @@ func BenchmarkFig12Scheduler(b *testing.B) {
 // latency ablation (E10).
 func BenchmarkCFLatencyAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.CFLatencyAblation(out("cflat"), benchOpts())
+		harness.CFLatencyAblation(context.Background(), out("cflat"), benchOpts())
 	}
 }
 
@@ -106,8 +107,8 @@ func BenchmarkCFLatencyAblation(b *testing.B) {
 func BenchmarkSweepGrid(b *testing.B) {
 	grid := sweep.Grid{
 		Benches:        []string{"bzip2", "crafty", "gap", "gzip", "parser", "adpcm.de", "gsm.de", "jpg.de"},
-		MachineConfigs: []string{"4w", "6w"},
-		RenoConfigs:    []string{"BASE", "RENO"},
+		MachineConfigs: sweep.Specs("4w", "6w"),
+		RenoConfigs:    sweep.Specs("BASE", "RENO"),
 		Scale:          0.4,
 		MaxInsts:       60_000,
 	}

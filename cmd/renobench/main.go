@@ -18,9 +18,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"reno/internal/harness"
@@ -32,12 +35,19 @@ func main() {
 	maxInsts := flag.Uint64("max", 300_000, "timed instructions per run (0 = to completion)")
 	serial := flag.Bool("serial", false, "disable parallel simulation")
 	workers := flag.Int("workers", 0, "sweep pool size (0 = GOMAXPROCS; ignored with -serial)")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
 	flag.Parse()
 
-	opts := harness.Options{Scale: *scale, MaxInsts: *maxInsts, Parallel: !*serial, Workers: *workers}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := harness.Options{Scale: *scale, MaxInsts: *maxInsts, Parallel: !*serial, Workers: *workers, Timeout: *timeout}
 	w := os.Stdout
 
 	run := func(name string, f func()) {
+		if ctx.Err() != nil {
+			return
+		}
 		t0 := time.Now()
 		fmt.Fprintf(w, "==== %s ====\n", name)
 		f()
@@ -53,29 +63,33 @@ func main() {
 		return false
 	}
 	if want("mix") {
-		run("Instruction mix (Section 4.2)", func() { harness.TableMix(w, opts) })
+		run("Instruction mix (Section 4.2)", func() { harness.TableMix(ctx, w, opts) })
 	}
 	if want("8") {
-		run("Figure 8", func() { harness.Fig8(w, opts) })
+		run("Figure 8", func() { harness.Fig8(ctx, w, opts) })
 	}
 	if want("9") {
-		run("Figure 9", func() { harness.Fig9(w, opts) })
+		run("Figure 9", func() { harness.Fig9(ctx, w, opts) })
 	}
 	if want("10") {
-		run("Figure 10", func() { harness.Fig10(w, opts) })
+		run("Figure 10", func() { harness.Fig10(ctx, w, opts) })
 	}
 	if want("11") {
-		run("Figure 11", func() { harness.Fig11(w, opts) })
+		run("Figure 11", func() { harness.Fig11(ctx, w, opts) })
 	}
 	if want("12") {
-		run("Figure 12", func() { harness.Fig12(w, opts) })
+		run("Figure 12", func() { harness.Fig12(ctx, w, opts) })
 	}
 	if want("cf-latency") {
-		run("CF fusion-latency ablation (Section 3.3)", func() { harness.CFLatencyAblation(w, opts) })
+		run("CF fusion-latency ablation (Section 3.3)", func() { harness.CFLatencyAblation(ctx, w, opts) })
 	}
 	if !did {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "renobench: interrupted")
+		os.Exit(130)
 	}
 }

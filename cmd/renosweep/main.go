@@ -2,27 +2,38 @@
 // worker pool and emits machine-readable results (JSON, optionally CSV).
 //
 // The grid is the cross product benches × machines × renos × seeds, given
-// either by flags or by a JSON spec file (see docs/sweep.md for the schema):
+// either by flags or by a JSON spec file (see docs/sweep.md for the schema;
+// docs/machines.md for the machine registry and inline spec objects):
 //
 //	renosweep -benches all -machines 4w,6w -renos BASE,RENO -o results.json
 //	renosweep -grid grid.json -csv results.csv -progress
+//	renosweep -validate grid.json      # parse + validate, run nothing
+//	renosweep -list                    # registered machine and RENO specs
 //
-// Machine specs take colon-separated modifiers: "4w:p128" (128 physical
-// registers), "4w:i2t3" (2 int ALUs, 3-wide issue), "4w:s2" (2-cycle
-// scheduling loop). Every run carries a stable hash over its deterministic
-// outcome, so results are diffable across worker counts and machines;
-// -stable additionally zeroes wall-clock fields for byte-identical output.
+// Machine spec strings take colon-separated modifiers: "4w:p128" (128
+// physical registers), "4w:i2t3" (2 int ALUs, 3-wide issue), "4w:s2"
+// (2-cycle scheduling loop); version-2 grid files may instead use inline
+// JSON objects overriding any configuration field. Every run carries a
+// stable hash over its deterministic outcome, so results are diffable
+// across worker counts and machines; -stable additionally zeroes
+// wall-clock fields for byte-identical output. SIGINT/SIGTERM cancel the
+// sweep promptly; interrupted runs are recorded as failed with partial
+// statistics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"reno/internal/machine"
 	"reno/internal/sweep"
 )
 
@@ -35,7 +46,10 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		maxInsts = flag.Uint64("max", 300_000, "timed instructions per run (0 = to completion)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none; timed-out runs fail with partial stats)")
 		gridPath = flag.String("grid", "", "JSON grid spec file (overrides the grid axis flags)")
+		validate = flag.String("validate", "", "parse and validate this grid spec file, run nothing")
+		list     = flag.Bool("list", false, "list registered machine and RENO spec names, run nothing")
 		jsonOut  = flag.String("o", "-", "JSON output path (- = stdout)")
 		csvOut   = flag.String("csv", "", "also write CSV to this path")
 		stable   = flag.Bool("stable", false, "zero wall-clock fields for byte-identical output")
@@ -46,6 +60,17 @@ func main() {
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
+	if *list {
+		listRegistry(os.Stdout)
+		return
+	}
+	if *validate != "" {
+		if err := validateSpec(os.Stdout, *validate); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	grid, err := buildGrid(*gridPath, *benches, *machines, *renos, *seeds, *scale, *maxInsts, *workers, setFlags)
 	if err != nil {
 		fatal(err)
@@ -55,7 +80,11 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := grid.Options()
+	opts.Timeout = *timeout
 	if *progress {
 		opts.Progress = func(done, total int, r *sweep.Result) {
 			if r.Err != "" {
@@ -68,7 +97,7 @@ func main() {
 	}
 
 	t0 := time.Now()
-	results := sweep.Run(jobs, opts)
+	results := sweep.RunContext(ctx, jobs, opts)
 	elapsed := time.Since(t0)
 
 	rep := sweep.NewReport(grid, results)
@@ -90,10 +119,58 @@ func main() {
 		for _, w := range sweep.Audit(results) {
 			fmt.Fprintf(os.Stderr, "WARNING: %s\n", w)
 		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "sweep: interrupted — partial results emitted")
+		}
 	}
 	if rep.Summary.Failed > 0 || rep.Summary.Warnings > 0 {
 		os.Exit(1)
 	}
+}
+
+// listRegistry prints the registered machine and RENO specs with their
+// one-line descriptions.
+func listRegistry(w io.Writer) {
+	fmt.Fprintln(w, "Machine base specs (extend with :p<N> :i<A>t<T> :s<N>, or inline JSON objects in v2 grids):")
+	for _, d := range machine.Machines() {
+		fmt.Fprintf(w, "  %-12s %s\n", d.Name, d.Desc)
+	}
+	fmt.Fprintln(w, "\nRENO configs:")
+	for _, d := range machine.Renos() {
+		fmt.Fprintf(w, "  %-12s %s\n", d.Name, d.Desc)
+	}
+}
+
+// validateSpec parses, validates, and expands a grid spec without running
+// it, reporting what the sweep would do.
+func validateSpec(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	g, err := sweep.ParseGridJSON(data)
+	if err != nil {
+		return err
+	}
+	jobs, err := g.Expand()
+	if err != nil {
+		return err
+	}
+	version := g.Version
+	if version == 0 {
+		version = 1
+	}
+	tags := map[string]bool{}
+	var order []string
+	for _, j := range jobs {
+		if t := j.Tag(); !tags[t] {
+			tags[t] = true
+			order = append(order, t)
+		}
+	}
+	fmt.Fprintf(w, "%s: ok (schema v%d): %d jobs, %d configurations: %s\n",
+		path, version, len(jobs), len(order), strings.Join(order, ", "))
+	return nil
 }
 
 // buildGrid assembles the grid from a spec file or the axis flags. With a
@@ -129,8 +206,8 @@ func buildGrid(path, benches, machines, renos, seeds string, scale float64, maxI
 	}
 	return sweep.Grid{
 		Benches:        splitList(benches),
-		MachineConfigs: splitList(machines),
-		RenoConfigs:    splitList(renos),
+		MachineConfigs: sweep.Specs(splitList(machines)...),
+		RenoConfigs:    sweep.Specs(splitList(renos)...),
 		Seeds:          seedVals,
 		Scale:          scale,
 		MaxInsts:       maxInsts,

@@ -153,8 +153,8 @@ func TestGeoMeanPctEdgeCases(t *testing.T) {
 func TestExecuteGridTags(t *testing.T) {
 	set, err := ExecuteGrid(sweep.Grid{
 		Benches:        []string{"gzip"},
-		MachineConfigs: []string{"4w", "4w:s2"},
-		RenoConfigs:    []string{"BASE"},
+		MachineConfigs: sweep.Specs("4w", "4w:s2"),
+		RenoConfigs:    sweep.Specs("BASE"),
 	}, Options{Scale: 0.05, MaxInsts: 3_000, Parallel: true}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -175,8 +175,8 @@ func TestExecuteGridTags(t *testing.T) {
 func TestExecuteGridSeedsReachTheWorkload(t *testing.T) {
 	set, err := ExecuteGrid(sweep.Grid{
 		Benches:        []string{"gzip"},
-		MachineConfigs: []string{"4w"},
-		RenoConfigs:    []string{"RENO"},
+		MachineConfigs: sweep.Specs("4w"),
+		RenoConfigs:    sweep.Specs("RENO"),
 		Seeds:          []int64{0, 1},
 	}, Options{Scale: 0.1, MaxInsts: 10_000, Parallel: true}, nil)
 	if err != nil {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -15,13 +16,13 @@ import (
 
 // Fig8 regenerates Figure 8: per-benchmark instruction elimination rates
 // (ME / CF / RA+CSE stacks) and speedups, on 4- and 6-wide machines.
-func Fig8(w io.Writer, opts Options) *Set {
+func Fig8(ctx context.Context, w io.Writer, opts Options) *Set {
 	spec, media := Suites()
 
-	set, err := ExecuteGrid(sweep.Grid{
+	set, err := ExecuteGridContext(ctx, sweep.Grid{
 		Benches:        []string{"all"},
-		MachineConfigs: []string{"4w", "6w"},
-		RenoConfigs:    []string{"BASE", "RENO"},
+		MachineConfigs: sweep.Specs("4w", "6w"),
+		RenoConfigs:    sweep.Specs("BASE", "RENO"),
 	}, opts, nil)
 	if err != nil {
 		panic(err) // static grid: a failure is a programming error
@@ -70,7 +71,7 @@ func Fig8(w io.Writer, opts Options) *Set {
 
 // Fig9 regenerates Figure 9: critical-path breakdowns for the paper's
 // benchmark subset under BASE, ME+CF, and full RENO.
-func Fig9(w io.Writer, opts Options) {
+func Fig9(ctx context.Context, w io.Writer, opts Options) {
 	specSel := []string{"crafty", "eon.k", "gap", "gzip", "parser", "perl.s", "vortex", "vpr.r"}
 	mediaSel := []string{"adpcm.de", "epic", "g721.en", "gsm.de", "jpg.de", "mesa.m", "mesa.t", "mpg2.en", "pegw.en"}
 
@@ -89,6 +90,9 @@ func Fig9(w io.Writer, opts Options) {
 			Columns: []string{"bench", "config", "fetch", "alu", "load", "mem", "commit"},
 		}
 		for _, name := range sel {
+			if ctx.Err() != nil {
+				return
+			}
 			prof, ok := workload.ByName(name)
 			if !ok {
 				continue
@@ -119,14 +123,14 @@ func Fig9(w io.Writer, opts Options) {
 // RENO.CSE+RA — RENO (CF + loads-only IT), RENO + full IT, full integration
 // alone, loads-only integration alone — plus the E9 table-bandwidth
 // accounting (Section 2.4's 50%/56% claims).
-func Fig10(w io.Writer, opts Options) *Set {
+func Fig10(ctx context.Context, w io.Writer, opts Options) *Set {
 	spec, media := Suites()
 	all := append(append([]workload.Profile{}, spec...), media...)
 
-	set, err := ExecuteGrid(sweep.Grid{
+	set, err := ExecuteGridContext(ctx, sweep.Grid{
 		Benches:        []string{"all"},
-		MachineConfigs: []string{"4w"},
-		RenoConfigs:    []string{"BASE", "RENO", "RENO+FI", "FullInteg", "LoadsInteg"},
+		MachineConfigs: sweep.Specs("4w"),
+		RenoConfigs:    sweep.Specs("BASE", "RENO", "RENO+FI", "FullInteg", "LoadsInteg"),
 	}, opts, nil)
 	if err != nil {
 		panic(err)
@@ -193,15 +197,15 @@ func renoAxisHeaders(first string) []string {
 // Fig11 regenerates Figure 11: RENO compensating for reduced physical
 // register files (top) and reduced issue width (bottom). Values are
 // performance relative to the full-size RENO-less baseline (=100).
-func Fig11(w io.Writer, opts Options) {
+func Fig11(ctx context.Context, w io.Writer, opts Options) {
 	spec, media := Suites()
 
 	// Top: register file sweep ("4w" is the 160-preg default).
 	pregMachines := map[int]string{96: "4w:p96", 112: "4w:p112", 128: "4w:p128", 160: "4w"}
-	set, err := ExecuteGrid(sweep.Grid{
+	set, err := ExecuteGridContext(ctx, sweep.Grid{
 		Benches:        []string{"all"},
-		MachineConfigs: []string{"4w:p96", "4w:p112", "4w:p128", "4w"},
-		RenoConfigs:    []string{"BASE", "ME+CF", "RENO"},
+		MachineConfigs: sweep.Specs("4w:p96", "4w:p112", "4w:p128", "4w"),
+		RenoConfigs:    sweep.Specs("BASE", "ME+CF", "RENO"),
 	}, opts, nil)
 	if err != nil {
 		panic(err)
@@ -232,10 +236,10 @@ func Fig11(w io.Writer, opts Options) {
 
 	// Bottom: issue width sweep.
 	widths := []string{"i2t2", "i2t3", "i3t4"}
-	set, err = ExecuteGrid(sweep.Grid{
+	set, err = ExecuteGridContext(ctx, sweep.Grid{
 		Benches:        []string{"all"},
-		MachineConfigs: []string{"4w:i2t2", "4w:i2t3", "4w:i3t4"},
-		RenoConfigs:    []string{"BASE", "ME+CF", "RENO"},
+		MachineConfigs: sweep.Specs("4w:i2t2", "4w:i2t3", "4w:i3t4"),
+		RenoConfigs:    sweep.Specs("BASE", "ME+CF", "RENO"),
 	}, opts, nil)
 	if err != nil {
 		panic(err)
@@ -267,15 +271,15 @@ func Fig11(w io.Writer, opts Options) {
 
 // Fig12 regenerates Figure 12: tolerating a 2-cycle wakeup-select
 // scheduling loop. Values relative to the 1-cycle RENO-less baseline.
-func Fig12(w io.Writer, opts Options) {
+func Fig12(ctx context.Context, w io.Writer, opts Options) {
 	spec, media := Suites()
 
 	// "4w" has the 1-cycle wakeup-select loop; "4w:s2" stretches it to 2.
 	loopMachines := map[int]string{1: "4w", 2: "4w:s2"}
-	set, err := ExecuteGrid(sweep.Grid{
+	set, err := ExecuteGridContext(ctx, sweep.Grid{
 		Benches:        []string{"all"},
-		MachineConfigs: []string{"4w", "4w:s2"},
-		RenoConfigs:    []string{"BASE", "ME+CF", "RENO"},
+		MachineConfigs: sweep.Specs("4w", "4w:s2"),
+		RenoConfigs:    sweep.Specs("BASE", "ME+CF", "RENO"),
 	}, opts, nil)
 	if err != nil {
 		panic(err)
@@ -307,7 +311,7 @@ func Fig12(w io.Writer, opts Options) {
 
 // TableMix regenerates the Section 1/4.2 instruction-mix statistics: the
 // dynamic fraction of register moves and register-immediate additions.
-func TableMix(w io.Writer, opts Options) {
+func TableMix(ctx context.Context, w io.Writer, opts Options) {
 	spec, media := Suites()
 	for _, suite := range []struct {
 		name  string
@@ -319,6 +323,9 @@ func TableMix(w io.Writer, opts Options) {
 		}
 		var mvs, ads []float64
 		for _, p := range suite.profs {
+			if ctx.Err() != nil {
+				return
+			}
 			prog := workload.MustBuild(workload.Scale(p, opts.Scale))
 			warm, err := prog.WarmupCount()
 			if err != nil {
@@ -368,7 +375,7 @@ func TableMix(w io.Writer, opts Options) {
 // CFLatencyAblation regenerates the Section 3.3 claim: if every fused
 // operation costs an extra cycle, RENO.CF keeps most of its advantage
 // (the paper: it loses only 20-25% of its relative gain, 1-2% absolute).
-func CFLatencyAblation(w io.Writer, opts Options) {
+func CFLatencyAblation(ctx context.Context, w io.Writer, opts Options) {
 	spec, media := Suites()
 	all := append(append([]workload.Profile{}, spec...), media...)
 
@@ -384,7 +391,7 @@ func CFLatencyAblation(w io.Writer, opts Options) {
 			Job{Bench: b, CfgTag: "CF-penal", Cfg: machine("4", slow)},
 		)
 	}
-	set := Execute(jobs, opts, nil)
+	set := ExecuteContext(ctx, jobs, opts, nil)
 
 	tb := &Table{
 		Title:   "CF fusion-latency ablation (Section 3.3): % speedup over baseline",

@@ -6,12 +6,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"reno/internal/pipeline"
 	"reno/internal/reno"
@@ -31,6 +33,9 @@ type Options struct {
 	// Workers bounds pool concurrency; 0 means GOMAXPROCS when Parallel,
 	// 1 otherwise.
 	Workers int
+	// Timeout bounds each run's wall-clock time (0 = none); timed-out
+	// runs are reported as errors with partial statistics.
+	Timeout time.Duration
 }
 
 // DefaultOptions returns laptop-scale settings.
@@ -108,13 +113,20 @@ type Job struct {
 
 // Execute runs all jobs on the sweep worker pool, honoring opts, checking
 // that every configuration of a benchmark reaches the same architectural
-// state.
+// state. It is ExecuteContext without cancellation.
 func Execute(jobs []Job, opts Options, progress io.Writer) *Set {
+	return ExecuteContext(context.Background(), jobs, opts, progress)
+}
+
+// ExecuteContext is Execute under a context: canceling ctx stops in-flight
+// simulations promptly (their runs are recorded as errors with partial
+// statistics) and skips the rest.
+func ExecuteContext(ctx context.Context, jobs []Job, opts Options, progress io.Writer) *Set {
 	sjobs := make([]sweep.Job, len(jobs))
 	for i, j := range jobs {
 		sjobs[i] = sweep.Job{Profile: j.Bench, Config: j.CfgTag, Seed: j.Seed, Cfg: j.Cfg}
 	}
-	sopts := sweep.Options{Workers: opts.workers(), Scale: opts.Scale, MaxInsts: opts.MaxInsts}
+	sopts := sweep.Options{Workers: opts.workers(), Scale: opts.Scale, MaxInsts: opts.MaxInsts, Timeout: opts.Timeout}
 	if progress != nil {
 		sopts.Progress = func(done, total int, r *sweep.Result) {
 			if r.Err != "" {
@@ -125,7 +137,7 @@ func Execute(jobs []Job, opts Options, progress io.Writer) *Set {
 				r.Bench, r.Tag(), r.IPC, r.ElimTotal)
 		}
 	}
-	results := sweep.Run(sjobs, sopts)
+	results := sweep.RunContext(ctx, sjobs, sopts)
 	return newSet(results, progress)
 }
 
@@ -134,6 +146,11 @@ func Execute(jobs []Job, opts Options, progress io.Writer) *Set {
 // grid's own Scale/MaxInsts/Workers fields are ignored in favor of opts, so
 // figure code carries one source of execution knobs.
 func ExecuteGrid(g sweep.Grid, opts Options, progress io.Writer) (*Set, error) {
+	return ExecuteGridContext(context.Background(), g, opts, progress)
+}
+
+// ExecuteGridContext is ExecuteGrid under a context.
+func ExecuteGridContext(ctx context.Context, g sweep.Grid, opts Options, progress io.Writer) (*Set, error) {
 	jobs, err := g.Expand()
 	if err != nil {
 		return nil, err
@@ -142,7 +159,7 @@ func ExecuteGrid(g sweep.Grid, opts Options, progress io.Writer) (*Set, error) {
 	for i, j := range jobs {
 		hjobs[i] = Job{Bench: j.Profile, CfgTag: j.Tag(), Cfg: j.Cfg, Seed: j.Seed}
 	}
-	return Execute(hjobs, opts, progress), nil
+	return ExecuteContext(ctx, hjobs, opts, progress), nil
 }
 
 // newSet indexes sweep results into a Set and prints the architectural

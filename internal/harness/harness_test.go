@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"io"
 	"math"
 	"strings"
@@ -125,13 +126,13 @@ func TestFiguresRenderWithoutError(t *testing.T) {
 	var b strings.Builder
 	Fig9IfShort := func() {
 		// Fig 9 runs serially per benchmark; keep it tiny.
-		Fig9(&b, Options{Scale: 0.05, MaxInsts: 3_000, Parallel: false})
+		Fig9(context.Background(), &b, Options{Scale: 0.05, MaxInsts: 3_000, Parallel: false})
 	}
-	TableMix(&b, opts)
-	Fig8(&b, opts)
-	Fig10(&b, opts)
-	Fig12(&b, opts)
-	CFLatencyAblation(&b, opts)
+	TableMix(context.Background(), &b, opts)
+	Fig8(context.Background(), &b, opts)
+	Fig10(context.Background(), &b, opts)
+	Fig12(context.Background(), &b, opts)
+	CFLatencyAblation(context.Background(), &b, opts)
 	Fig9IfShort()
 	out := b.String()
 	for _, frag := range []string{"Figure 8", "Figure 9", "Figure 10", "Figure 12", "amean"} {

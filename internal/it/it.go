@@ -30,6 +30,9 @@
 package it
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"reno/internal/isa"
 	"reno/internal/renamer"
 )
@@ -75,6 +78,44 @@ func (p Policy) String() string {
 		return "loads-only"
 	}
 	return "full"
+}
+
+// MarshalJSON renders the policy by name ("loads-only", "full") so machine
+// spec files read declaratively rather than as magic integers.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	switch p {
+	case PolicyLoadsOnly, PolicyFull:
+		return json.Marshal(p.String())
+	}
+	return nil, fmt.Errorf("it: unknown policy %d", int(p))
+}
+
+// UnmarshalJSON accepts the policy names emitted by MarshalJSON (plus the
+// underscore spelling) and, for compatibility with integer-tagged specs, the
+// raw enum values.
+func (p *Policy) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		switch s {
+		case "loads-only", "loads_only":
+			*p = PolicyLoadsOnly
+			return nil
+		case "full":
+			*p = PolicyFull
+			return nil
+		}
+		return fmt.Errorf("it: unknown policy %q (want \"loads-only\" or \"full\")", s)
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("it: policy must be a name or integer, got %s", b)
+	}
+	switch Policy(n) {
+	case PolicyLoadsOnly, PolicyFull:
+		*p = Policy(n)
+		return nil
+	}
+	return fmt.Errorf("it: unknown policy %d", n)
 }
 
 // Table is the set-associative integration table.

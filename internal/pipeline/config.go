@@ -17,34 +17,40 @@
 package pipeline
 
 import (
+	"fmt"
+	"strconv"
+
 	"reno/internal/reno"
 )
 
-// Config sizes the simulated core.
+// Config sizes the simulated core. Every field carries a JSON tag: a Config
+// is fully declarative and round-trips through JSON, which is how inline
+// machine specs in v2 sweep grids override registry presets field-by-field
+// (see internal/machine and docs/machines.md).
 type Config struct {
-	Name string
+	Name string `json:"name"`
 
-	FetchWidth  int
-	RenameWidth int
-	CommitWidth int
+	FetchWidth  int `json:"fetch_width"`
+	RenameWidth int `json:"rename_width"`
+	CommitWidth int `json:"commit_width"`
 
 	// IssueTotal bounds instructions issued per cycle; the per-class
 	// limits model functional unit and port counts.
-	IssueTotal int
-	IntALUs    int
-	FPUnits    int
-	LoadPorts  int
-	StorePorts int
+	IssueTotal int `json:"issue_total"`
+	IntALUs    int `json:"int_alus"`
+	FPUnits    int `json:"fp_units"`
+	LoadPorts  int `json:"load_ports"`
+	StorePorts int `json:"store_ports"`
 
-	IQSize  int
-	ROBSize int
-	LQSize  int
-	SQSize  int
+	IQSize  int `json:"iq_size"`
+	ROBSize int `json:"rob_size"`
+	LQSize  int `json:"lq_size"`
+	SQSize  int `json:"sq_size"`
 
 	// SchedLoop is the wakeup-select loop latency (Section 4.5 / Figure
 	// 12): 1 allows back-to-back dependent single-cycle ops; 2 makes every
 	// single-cycle op look like a 2-cycle op to its dependents.
-	SchedLoop int
+	SchedLoop int `json:"sched_loop"`
 
 	// RetireQueue is the depth (in cycles of backlog) of the store/
 	// re-execution retirement queue. Stores and integrated-load
@@ -52,23 +58,82 @@ type Config struct {
 	// this queue; commit stalls only when the backlog exceeds the queue
 	// (the paper's "dependence-free" pre-retirement re-execution has low
 	// impact precisely because it is decoupled this way, §2.2).
-	RetireQueue int
+	RetireQueue int `json:"retire_queue"`
 
 	// FrontLat is the fetch-to-rename pipe depth (bpred + I$ + decode).
-	FrontLat int
+	FrontLat int `json:"front_lat"`
 	// RedirectPenalty is the branch-misprediction refetch penalty beyond
 	// branch resolution.
-	RedirectPenalty int
+	RedirectPenalty int `json:"redirect_penalty"`
 
 	// Latencies by operation group.
-	IntLat, MulLat, DivLat, FPLat, BranchLat int
+	IntLat    int `json:"int_lat"`
+	MulLat    int `json:"mul_lat"`
+	DivLat    int `json:"div_lat"`
+	FPLat     int `json:"fp_lat"`
+	BranchLat int `json:"branch_lat"`
 
-	Reno reno.Config
+	Reno reno.Config `json:"reno"`
 
 	// MaxInsts bounds the simulated instruction count (0 = run to halt).
-	MaxInsts uint64
+	MaxInsts uint64 `json:"max_insts,omitempty"`
 	// SkipInsts fast-forwards functionally before timing starts (warmup).
-	SkipInsts uint64
+	SkipInsts uint64 `json:"skip_insts,omitempty"`
+}
+
+// Validate reports the first structural problem that would make the
+// configuration unsimulatable (or silently meaningless), with enough context
+// to fix the offending field. Field names in messages are the JSON tags, so
+// errors map directly onto spec files.
+func (c Config) Validate() error {
+	pos := func(field string, v int) error {
+		if v < 1 {
+			return fmt.Errorf("%s must be >= 1, got %d", field, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"fetch_width", c.FetchWidth},
+		{"rename_width", c.RenameWidth},
+		{"commit_width", c.CommitWidth},
+		{"issue_total", c.IssueTotal},
+		{"int_alus", c.IntALUs},
+		{"fp_units", c.FPUnits},
+		{"load_ports", c.LoadPorts},
+		{"store_ports", c.StorePorts},
+		{"iq_size", c.IQSize},
+		{"rob_size", c.ROBSize},
+		{"lq_size", c.LQSize},
+		{"sq_size", c.SQSize},
+		{"sched_loop", c.SchedLoop},
+		{"retire_queue", c.RetireQueue},
+		{"front_lat", c.FrontLat},
+		{"int_lat", c.IntLat},
+		{"mul_lat", c.MulLat},
+		{"div_lat", c.DivLat},
+		{"fp_lat", c.FPLat},
+		{"branch_lat", c.BranchLat},
+	} {
+		if err := pos(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if c.RedirectPenalty < 0 {
+		return fmt.Errorf("redirect_penalty must be >= 0, got %d", c.RedirectPenalty)
+	}
+	if c.IQSize > c.ROBSize {
+		return fmt.Errorf("iq_size (%d) exceeds rob_size (%d): queued instructions all hold ROB entries", c.IQSize, c.ROBSize)
+	}
+	if c.IssueTotal < c.IntALUs {
+		return fmt.Errorf("issue_total (%d) is below int_alus (%d): the extra ALUs can never issue", c.IssueTotal, c.IntALUs)
+	}
+	if err := c.Reno.Validate(); err != nil {
+		return fmt.Errorf("reno: %w", err)
+	}
+	return nil
 }
 
 // FourWide returns the paper's baseline 4-wide machine: 4-wide
@@ -128,7 +193,7 @@ func SixWide(rc reno.Config) Config {
 func (c Config) WithIssue(intALUs, total int) Config {
 	c.IntALUs = intALUs
 	c.IssueTotal = total
-	c.Name = c.Name + "-i" + itoa(intALUs) + "t" + itoa(total)
+	c.Name = c.Name + "-i" + strconv.Itoa(intALUs) + "t" + strconv.Itoa(total)
 	return c
 }
 
@@ -136,7 +201,7 @@ func (c Config) WithIssue(intALUs, total int) Config {
 // (the Figure 11 register sweep).
 func (c Config) WithPhysRegs(n int) Config {
 	c.Reno.PhysRegs = n
-	c.Name = c.Name + "-p" + itoa(n)
+	c.Name = c.Name + "-p" + strconv.Itoa(n)
 	return c
 }
 
@@ -144,20 +209,6 @@ func (c Config) WithPhysRegs(n int) Config {
 // (Figure 12).
 func (c Config) WithSchedLoop(n int) Config {
 	c.SchedLoop = n
-	c.Name = c.Name + "-s" + itoa(n)
+	c.Name = c.Name + "-s" + strconv.Itoa(n)
 	return c
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"reno/internal/bpred"
@@ -62,6 +63,12 @@ type entry struct {
 // Result summarizes one simulation.
 type Result struct {
 	Config Config
+
+	// StopReason records why the simulation ended: "" (instruction stream
+	// drained), "max-insts" (Config.MaxInsts reached), "cycle-budget"
+	// (RunOptions.MaxCycles reached), or "canceled" (context done; the
+	// result is a partial snapshot).
+	StopReason string
 
 	Cycles uint64
 	Insts  uint64 // committed instructions
@@ -209,15 +216,100 @@ func (st *stream) pushFront(ds []emu.Dyn) {
 
 func (st *stream) exhausted() bool { return st.done && len(st.replay) == 0 }
 
+// RunOptions controls one RunContext simulation beyond the machine
+// configuration: execution bounds and progress observation. The zero value
+// reproduces Run's run-to-completion contract exactly.
+type RunOptions struct {
+	// MaxCycles stops the simulation once this many cycles have elapsed
+	// (0 = no cycle budget). The result is a complete summary of the
+	// cycles that did run, with StopReason "cycle-budget".
+	MaxCycles uint64
+
+	// ObserveEvery invokes Observer each time this many further
+	// instructions have committed (0 = never). Observation is passive: it
+	// never perturbs simulation outcomes, so observed and unobserved runs
+	// of the same program are cycle-identical.
+	ObserveEvery uint64
+
+	// Observer receives interval snapshots. It is called synchronously on
+	// the simulation goroutine; a slow observer slows the run, nothing
+	// else.
+	Observer func(IntervalStats)
+}
+
+// IntervalStats is the progress snapshot handed to a RunOptions.Observer:
+// cumulative counters plus rates over the interval since the previous
+// callback (IPC, elimination rate, occupancy averages).
+type IntervalStats struct {
+	Cycles uint64 // cumulative elapsed cycles
+	Insts  uint64 // cumulative committed instructions
+	IPC    float64
+
+	IntervalCycles uint64
+	IntervalInsts  uint64
+	IntervalIPC    float64
+
+	// ElimPct is the cumulative eliminated share of committed
+	// instructions (percent); IntervalElimPct covers this interval only.
+	ElimPct         float64
+	IntervalElimPct float64
+
+	// IQOcc and PregsInUse are interval averages of issue-queue occupancy
+	// and allocated physical registers.
+	IQOcc      float64
+	PregsInUse float64
+}
+
+// ctxCheckInterval is how many cycles pass between context polls: rare
+// enough to stay off the hot path, frequent enough that cancellation lands
+// within microseconds of simulated work.
+const ctxCheckInterval = 1024
+
 // Run simulates until the stream drains (or MaxInsts commit) and returns
-// the result.
+// the result. It is RunContext with no deadline, no budget, and no
+// observer.
 func (s *Sim) Run() (*Result, error) {
+	return s.RunContext(context.Background(), RunOptions{})
+}
+
+// RunContext simulates until the stream drains, Config.MaxInsts commit, the
+// cycle budget is exhausted, or ctx is done. On cancellation it returns the
+// partial result accumulated so far together with ctx's error, so callers
+// always get the statistics the cycles they paid for produced; all other
+// stops return a nil error and stamp Result.StopReason. RunContext spawns
+// no goroutines and returns promptly (within ctxCheckInterval simulated
+// cycles) once ctx is canceled.
+func (s *Sim) RunContext(ctx context.Context, opts RunOptions) (*Result, error) {
+	done := ctx.Done()
+	var prev obsBase // observer baseline (zero = start of timing)
+	nextObserve := uint64(0)
+	if opts.Observer != nil && opts.ObserveEvery > 0 {
+		nextObserve = opts.ObserveEvery
+	}
 	for {
 		if s.src.exhausted() && s.robCount == 0 && len(s.fq) == 0 {
+			// A trace feed bounded by MaxInsts drains here rather than at
+			// the commit check below; label the stop all the same.
+			if s.cfg.MaxInsts > 0 && s.committed >= s.cfg.MaxInsts {
+				s.res.StopReason = "max-insts"
+			}
 			break
 		}
 		if s.cfg.MaxInsts > 0 && s.committed >= s.cfg.MaxInsts {
+			s.res.StopReason = "max-insts"
 			break
+		}
+		if opts.MaxCycles > 0 && s.cycle >= opts.MaxCycles {
+			s.res.StopReason = "cycle-budget"
+			break
+		}
+		if done != nil && s.cycle%ctxCheckInterval == 0 {
+			select {
+			case <-done:
+				s.res.StopReason = "canceled"
+				return s.finish(), ctx.Err()
+			default:
+			}
 		}
 		s.commitStage()
 		s.issueStage()
@@ -226,12 +318,53 @@ func (s *Sim) Run() (*Result, error) {
 		s.iqOccSum += uint64(s.iqUsed)
 		s.pregSum += uint64(s.opt.RefCounts().InUse())
 		s.cycle++
+		if nextObserve > 0 && s.committed >= nextObserve {
+			prev = s.observe(opts.Observer, prev)
+			for nextObserve <= s.committed {
+				nextObserve += opts.ObserveEvery
+			}
+		}
 		if s.cycle > (s.committed+1_000_000)*100 {
 			return nil, fmt.Errorf("pipeline %s: no forward progress at cycle %d (%d committed)",
 				s.cfg.Name, s.cycle, s.committed)
 		}
 	}
 	return s.finish(), nil
+}
+
+// obsBase is the raw-counter snapshot an interval is measured against.
+type obsBase struct {
+	cycles, insts, elim, iqSum, pregSum uint64
+}
+
+// observe emits one interval snapshot and returns the new baseline.
+func (s *Sim) observe(fn func(IntervalStats), prev obsBase) obsBase {
+	cur := obsBase{
+		cycles: s.cycle, insts: s.committed, elim: s.opt.Stats.Total(),
+		iqSum: s.iqOccSum, pregSum: s.pregSum,
+	}
+	st := IntervalStats{
+		Cycles:         cur.cycles,
+		Insts:          cur.insts,
+		IntervalCycles: cur.cycles - prev.cycles,
+		IntervalInsts:  cur.insts - prev.insts,
+	}
+	if st.Cycles > 0 {
+		st.IPC = float64(st.Insts) / float64(st.Cycles)
+	}
+	if st.IntervalCycles > 0 {
+		st.IntervalIPC = float64(st.IntervalInsts) / float64(st.IntervalCycles)
+		st.IQOcc = float64(cur.iqSum-prev.iqSum) / float64(st.IntervalCycles)
+		st.PregsInUse = float64(cur.pregSum-prev.pregSum) / float64(st.IntervalCycles)
+	}
+	if st.Insts > 0 {
+		st.ElimPct = 100 * float64(cur.elim) / float64(st.Insts)
+	}
+	if st.IntervalInsts > 0 {
+		st.IntervalElimPct = 100 * float64(cur.elim-prev.elim) / float64(st.IntervalInsts)
+	}
+	fn(st)
+	return cur
 }
 
 func (s *Sim) finish() *Result {

@@ -1,11 +1,16 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"reno/internal/emu"
 	"reno/internal/isa"
 )
+
+// warmupCtxInterval is how many functional warmup steps pass between
+// context polls.
+const warmupCtxInterval = 4096
 
 // RunProgram times a program on the given configuration. The first warmup
 // dynamic instructions execute functionally only (the paper's
@@ -13,17 +18,35 @@ import (
 // maxInsts instructions commit (0 = no limit). The final architectural
 // state hash is returned for cross-configuration equivalence checks.
 func RunProgram(cfg Config, code []isa.Inst, warmup, maxInsts uint64) (*Result, uint64, error) {
-	return runProgram(cfg, code, warmup, maxInsts, 0)
+	return runProgram(context.Background(), cfg, code, warmup, maxInsts, 0, RunOptions{})
 }
 
 // RunProgramCPA is RunProgram with critical-path analysis attached.
 func RunProgramCPA(cfg Config, code []isa.Inst, warmup, maxInsts uint64, chunk int) (*Result, uint64, error) {
-	return runProgram(cfg, code, warmup, maxInsts, chunk)
+	return runProgram(context.Background(), cfg, code, warmup, maxInsts, chunk, RunOptions{})
 }
 
-func runProgram(cfg Config, code []isa.Inst, warmup, maxInsts uint64, cpaChunk int) (*Result, uint64, error) {
+// RunProgramContext is RunProgram under a context and RunOptions: the run
+// can be canceled (or timed out) mid-flight, bounded by a cycle budget, and
+// observed at an instruction interval. On cancellation during timing it
+// returns the partial Result together with the architectural hash of the
+// state reached and ctx's error; cancellation during functional warmup
+// returns a nil Result (no cycles were timed yet).
+func RunProgramContext(ctx context.Context, cfg Config, code []isa.Inst, warmup, maxInsts uint64, opts RunOptions) (*Result, uint64, error) {
+	return runProgram(ctx, cfg, code, warmup, maxInsts, 0, opts)
+}
+
+func runProgram(ctx context.Context, cfg Config, code []isa.Inst, warmup, maxInsts uint64, cpaChunk int, opts RunOptions) (*Result, uint64, error) {
 	m := emu.New(code)
+	done := ctx.Done()
 	for m.ICount < warmup && !m.Halted {
+		if done != nil && m.ICount%warmupCtxInterval == 0 {
+			select {
+			case <-done:
+				return nil, 0, fmt.Errorf("pipeline warmup: %w", ctx.Err())
+			default:
+			}
+		}
 		if _, err := m.Step(); err != nil {
 			return nil, 0, fmt.Errorf("pipeline warmup: %w", err)
 		}
@@ -44,9 +67,11 @@ func runProgram(cfg Config, code []isa.Inst, warmup, maxInsts uint64, cpaChunk i
 	if cpaChunk > 0 {
 		s.AttachCPA(cpaChunk)
 	}
-	res, err := s.Run()
+	res, err := s.RunContext(ctx, opts)
 	if err != nil {
-		return nil, 0, err
+		// Cancellation: res is the partial snapshot (nil on internal
+		// errors); the hash covers the state actually reached.
+		return res, m.StateHash(), err
 	}
 	if ferr != nil {
 		return nil, 0, fmt.Errorf("pipeline trace feed: %w", ferr)

@@ -66,27 +66,56 @@ func (k Kind) String() string {
 	return "none"
 }
 
-// Config selects the RENO configuration.
+// Config selects the RENO configuration. Every field carries a JSON tag so
+// configurations are fully declarative: named presets in the
+// internal/machine registry round-trip through JSON, and inline spec objects
+// in v2 sweep grids override them field-by-field.
 type Config struct {
-	PhysRegs int // physical register file size (paper baseline: 160)
+	PhysRegs int `json:"phys_regs"` // physical register file size (paper baseline: 160)
 
-	EnableME    bool // move elimination
-	EnableCF    bool // constant folding (subsumes ME when enabled)
-	EnableCSERA bool // integration (CSE + speculative memory bypassing)
+	EnableME    bool `json:"enable_me"`     // move elimination
+	EnableCF    bool `json:"enable_cf"`     // constant folding (subsumes ME when enabled)
+	EnableCSERA bool `json:"enable_cse_ra"` // integration (CSE + speculative memory bypassing)
 
-	ITEntries int // integration table entries (paper: 512)
-	ITWays    int // associativity (paper: 2)
-	ITPolicy  it.Policy
+	ITEntries int       `json:"it_entries"` // integration table entries (paper: 512)
+	ITWays    int       `json:"it_ways"`    // associativity (paper: 2)
+	ITPolicy  it.Policy `json:"it_policy"`
 
 	// FoldZeroSource extends RENO.CF to fold immediate loads
 	// (addi rd, zero, imm) by mapping rd -> [p0:imm]. An extension beyond
 	// the paper; off by default.
-	FoldZeroSource bool
+	FoldZeroSource bool `json:"fold_zero_source,omitempty"`
 
 	// PenalizeAllFusions charges one extra execute cycle for *every* fused
 	// operation instead of only shift/multiply fusions — the Section 3.3
 	// ablation ("if the 3-input adder delay cannot be hidden").
-	PenalizeAllFusions bool
+	PenalizeAllFusions bool `json:"penalize_all_fusions,omitempty"`
+}
+
+// Validate reports the first structural problem with the configuration,
+// naming fields by their JSON tags so errors map directly onto spec files.
+// PhysRegs == 0 is accepted: it means "let the machine spec choose" and is
+// resolved before New is called (New itself panics on an unbacked file).
+func (c Config) Validate() error {
+	if c.PhysRegs != 0 && c.PhysRegs < isa.NumLogicalRegs+1 {
+		return fmt.Errorf("phys_regs (%d) is below the architectural minimum %d (%d logical registers + the hardwired zero home)",
+			c.PhysRegs, isa.NumLogicalRegs+1, isa.NumLogicalRegs)
+	}
+	if c.ITEntries < 0 || c.ITWays < 0 {
+		return fmt.Errorf("it_entries (%d) and it_ways (%d) must be >= 0", c.ITEntries, c.ITWays)
+	}
+	if c.ITPolicy != it.PolicyLoadsOnly && c.ITPolicy != it.PolicyFull {
+		return fmt.Errorf("it_policy %d is not a known policy (want %q or %q)", int(c.ITPolicy), it.PolicyLoadsOnly, it.PolicyFull)
+	}
+	if c.EnableCSERA && c.ITEntries != 0 {
+		if c.ITWays < 1 {
+			return fmt.Errorf("it_ways must be >= 1 when it_entries is set, got %d", c.ITWays)
+		}
+		if c.ITEntries%c.ITWays != 0 {
+			return fmt.Errorf("it_entries (%d) must be a multiple of it_ways (%d)", c.ITEntries, c.ITWays)
+		}
+	}
+	return nil
 }
 
 // Baseline returns a configuration with every optimization disabled: a

@@ -1,34 +1,101 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
-	"strconv"
 	"strings"
 
+	"reno/internal/machine"
 	"reno/internal/pipeline"
 	"reno/internal/reno"
 	"reno/internal/workload"
 )
 
+// GridVersion is the newest grid schema version this package parses.
+// Version 1 (or an absent "version") is the original string-only schema;
+// version 2 additionally allows machines and renos entries to be inline
+// spec objects resolved through the internal/machine registry.
+const GridVersion = 2
+
+// Spec is one machine or RENO axis entry. In JSON it is either a string —
+// a registered name, optionally with DSL modifiers for machines
+// ("4w:p128") — or, in version-2 grids, an inline spec object with a
+// "base" and field-by-field overrides (see docs/machines.md).
+type Spec struct {
+	// Name is the string form; empty when the spec is an inline object.
+	Name string
+	// Raw is the inline object form, verbatim; nil for string specs.
+	Raw json.RawMessage
+}
+
+// Specs wraps plain names as axis entries (the Go-side convenience for
+// flag parsing and figure code).
+func Specs(names ...string) []Spec {
+	out := make([]Spec, len(names))
+	for i, n := range names {
+		out[i] = Spec{Name: n}
+	}
+	return out
+}
+
+// Inline reports whether the spec is an inline object.
+func (s Spec) Inline() bool { return s.Raw != nil }
+
+// UnmarshalJSON accepts a JSON string or object.
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	*s = Spec{} // a reused Spec must not keep a stale Name or Raw
+	t := bytes.TrimSpace(b)
+	if len(t) == 0 {
+		return fmt.Errorf("empty spec")
+	}
+	switch t[0] {
+	case '"':
+		return json.Unmarshal(t, &s.Name)
+	case '{':
+		s.Raw = append(json.RawMessage(nil), t...)
+		return nil
+	}
+	return fmt.Errorf("spec must be a string or an object, got %s", t)
+}
+
+// MarshalJSON restores the spec's JSON form.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	if s.Raw != nil {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, s.Raw); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	return json.Marshal(s.Name)
+}
+
 // Grid is a declarative experiment grid: the cross product of benchmarks,
 // machine configurations, RENO configurations, and seeds. Its JSON form is
 // the input format of cmd/renosweep (see docs/sweep.md).
 type Grid struct {
+	// Version is the grid schema version: 0 or 1 for the original
+	// string-only schema, 2 to allow inline spec objects. ParseGridJSON
+	// enforces that inline specs only appear in version-2 grids.
+	Version int `json:"version,omitempty"`
+
 	// Benches names workloads: exact benchmark names ("gzip", "gsm.de"),
 	// suite aliases ("SPECint"/"spec", "MediaBench"/"media", "all"), or
 	// micro kernels ("micro.<kernel>"). Duplicates are dropped.
 	Benches []string `json:"benches"`
 
-	// MachineConfigs are machine specs: a base width "4w" or "6w" plus
-	// optional colon-separated modifiers — "p<N>" (physical registers),
-	// "i<A>t<T>" (integer ALUs / total issue), "s<N>" (scheduling loop).
-	// Example: "4w:p128:s2". Empty means ["4w"].
-	MachineConfigs []string `json:"machines"`
+	// MachineConfigs are machine specs: a registered base name "4w" or
+	// "6w" plus optional colon-separated modifiers — "p<N>" (physical
+	// registers), "i<A>t<T>" (integer ALUs / total issue), "s<N>"
+	// (scheduling loop) — or inline spec objects (version 2). Empty means
+	// ["4w"].
+	MachineConfigs []Spec `json:"machines"`
 
-	// RenoConfigs are RENO configuration names (see RenoNames). Empty
-	// means ["BASE", "RENO"].
-	RenoConfigs []string `json:"renos"`
+	// RenoConfigs are RENO configurations: registered names (see
+	// machine.RenoNames) or inline spec objects (version 2). Empty means
+	// ["BASE", "RENO"].
+	RenoConfigs []Spec `json:"renos"`
 
 	// Seeds are workload seed offsets; empty means [0] (the canonical
 	// per-benchmark program). Each non-zero seed generates a distinct but
@@ -44,72 +111,20 @@ type Grid struct {
 }
 
 // RenoNames lists the named RENO configurations a grid may reference, in
-// canonical order.
-func RenoNames() []string {
-	return []string{"BASE", "ME", "ME+CF", "RENO", "RENO+FI", "FullInteg", "LoadsInteg"}
-}
+// canonical order. It is a convenience re-export of the internal/machine
+// registry.
+func RenoNames() []string { return machine.RenoNames() }
 
 // RenoByName returns the named RENO configuration with PhysRegs unset (the
-// machine spec supplies the register file size).
-func RenoByName(name string) (reno.Config, error) {
-	switch name {
-	case "BASE":
-		return reno.Baseline(0), nil
-	case "ME":
-		return reno.Config{EnableME: true}, nil
-	case "ME+CF":
-		return reno.MECF(0), nil
-	case "RENO":
-		return reno.Default(0), nil
-	case "RENO+FI":
-		return reno.RENOPlusFullIntegration(0), nil
-	case "FullInteg":
-		return reno.FullIntegration(0), nil
-	case "LoadsInteg":
-		return reno.LoadsIntegration(0), nil
-	}
-	return reno.Config{}, fmt.Errorf("unknown RENO config %q (known: %s)",
-		name, strings.Join(RenoNames(), ", "))
-}
+// machine spec supplies the register file size). Deprecated shim over
+// machine.RenoByName.
+func RenoByName(name string) (reno.Config, error) { return machine.RenoByName(name) }
 
-// ParseMachine builds the pipeline configuration for a machine spec,
-// instantiated with the given RENO configuration.
+// ParseMachine builds the pipeline configuration for a machine spec string,
+// instantiated with the given RENO configuration. Deprecated shim over
+// machine.ParseMachine (which also rejects duplicate modifiers).
 func ParseMachine(spec string, rc reno.Config) (pipeline.Config, error) {
-	parts := strings.Split(spec, ":")
-	var cfg pipeline.Config
-	switch parts[0] {
-	case "4w", "4":
-		cfg = pipeline.FourWide(rc)
-	case "6w", "6":
-		cfg = pipeline.SixWide(rc)
-	default:
-		return pipeline.Config{}, fmt.Errorf("machine %q: unknown base %q (want 4w or 6w)", spec, parts[0])
-	}
-	for _, mod := range parts[1:] {
-		switch {
-		case strings.HasPrefix(mod, "p"):
-			n, err := strconv.Atoi(mod[1:])
-			if err != nil || n <= 0 {
-				return pipeline.Config{}, fmt.Errorf("machine %q: bad register-file modifier %q", spec, mod)
-			}
-			cfg = cfg.WithPhysRegs(n)
-		case strings.HasPrefix(mod, "i"):
-			var ints, tot int
-			if _, err := fmt.Sscanf(mod, "i%dt%d", &ints, &tot); err != nil || ints <= 0 || tot < ints {
-				return pipeline.Config{}, fmt.Errorf("machine %q: bad issue modifier %q (want i<A>t<T>)", spec, mod)
-			}
-			cfg = cfg.WithIssue(ints, tot)
-		case strings.HasPrefix(mod, "s"):
-			n, err := strconv.Atoi(mod[1:])
-			if err != nil || n <= 0 {
-				return pipeline.Config{}, fmt.Errorf("machine %q: bad scheduling-loop modifier %q", spec, mod)
-			}
-			cfg = cfg.WithSchedLoop(n)
-		default:
-			return pipeline.Config{}, fmt.Errorf("machine %q: unknown modifier %q", spec, mod)
-		}
-	}
-	return cfg, nil
+	return machine.ParseMachine(spec, rc)
 }
 
 // resolveBenches expands bench names and suite aliases into profiles,
@@ -161,9 +176,35 @@ func kernelByName(name string) (workload.KernelKind, bool) {
 	return 0, false
 }
 
+// resolveReno resolves one RENO axis entry into a configuration and tag.
+func resolveReno(s Spec) (reno.Config, string, error) {
+	if s.Inline() {
+		return machine.ResolveReno(s.Raw)
+	}
+	rc, err := machine.RenoByName(s.Name)
+	return rc, s.Name, err
+}
+
+// resolveMachine resolves one machine axis entry, instantiated with rc,
+// into a validated configuration and tag.
+func resolveMachine(s Spec, rc reno.Config) (pipeline.Config, string, error) {
+	if s.Inline() {
+		return machine.ResolveMachine(s.Raw, rc)
+	}
+	cfg, err := machine.ParseMachine(s.Name, rc)
+	if err != nil {
+		return pipeline.Config{}, "", err
+	}
+	if err := cfg.Validate(); err != nil {
+		return pipeline.Config{}, "", fmt.Errorf("machine %q: %w", s.Name, err)
+	}
+	return cfg, s.Name, nil
+}
+
 // Expand crosses the grid into one Job per (bench, machine, reno, seed), in
 // bench-major order. Machine and RENO lists apply their documented defaults
-// when empty.
+// when empty; every resolved configuration is validated, so a grid that
+// expands cleanly will not fail on a config error mid-sweep.
 func (g Grid) Expand() ([]Job, error) {
 	benches, err := resolveBenches(g.Benches)
 	if err != nil {
@@ -171,34 +212,44 @@ func (g Grid) Expand() ([]Job, error) {
 	}
 	machines := g.MachineConfigs
 	if len(machines) == 0 {
-		machines = []string{"4w"}
+		machines = Specs("4w")
 	}
 	renos := g.RenoConfigs
 	if len(renos) == 0 {
-		renos = []string{"BASE", "RENO"}
+		renos = Specs("BASE", "RENO")
 	}
 	seeds := g.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{0}
 	}
 
-	// Validate the config axes once, not once per benchmark.
+	// Resolve and validate the config axes once, not once per benchmark.
 	type axis struct {
 		machine, renoTag string
 		cfg              pipeline.Config
 	}
 	var axes []axis
+	seenTags := map[string]bool{}
 	for _, m := range machines {
 		for _, rn := range renos {
-			rc, err := RenoByName(rn)
+			rc, renoTag, err := resolveReno(rn)
 			if err != nil {
 				return nil, err
 			}
-			cfg, err := ParseMachine(m, rc)
+			cfg, machineTag, err := resolveMachine(m, rc)
 			if err != nil {
 				return nil, err
 			}
-			axes = append(axes, axis{m, rn, cfg})
+			// Duplicate tags would make result records indistinguishable
+			// (and harness Sets silently drop one run), so a repeated
+			// axis entry — or an inline "name" shadowing another spec's
+			// tag — is an error, not a quiet last-wins.
+			if tag := machineTag + "/" + renoTag; seenTags[tag] {
+				return nil, fmt.Errorf("grid: duplicate configuration %q (repeated axis entry, or an inline spec \"name\" colliding with another spec's tag)", tag)
+			} else {
+				seenTags[tag] = true
+			}
+			axes = append(axes, axis{machineTag, renoTag, cfg})
 		}
 	}
 
@@ -218,14 +269,41 @@ func (g Grid) Options() Options {
 	return Options{Workers: g.Workers, Scale: g.Scale, MaxInsts: g.MaxInsts}
 }
 
+// Validate checks the schema-level invariants JSON decoding alone cannot:
+// the version is known and inline specs only appear at version >= 2. Axis
+// contents are validated by Expand.
+func (g Grid) Validate() error {
+	if g.Version > GridVersion {
+		return fmt.Errorf("grid spec: unsupported version %d (this build understands <= %d)", g.Version, GridVersion)
+	}
+	if g.Version >= 2 {
+		return nil
+	}
+	for _, s := range g.MachineConfigs {
+		if s.Inline() {
+			return fmt.Errorf(`grid spec: inline machine specs require "version": 2`)
+		}
+	}
+	for _, s := range g.RenoConfigs {
+		if s.Inline() {
+			return fmt.Errorf(`grid spec: inline reno specs require "version": 2`)
+		}
+	}
+	return nil
+}
+
 // ParseGridJSON decodes a Grid from its JSON form, rejecting unknown fields
-// so spec typos fail loudly instead of silently defaulting.
+// so spec typos fail loudly instead of silently defaulting, and enforcing
+// the version rules (inline specs are a version-2 feature).
 func ParseGridJSON(data []byte) (Grid, error) {
-	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var g Grid
 	if err := dec.Decode(&g); err != nil {
 		return Grid{}, fmt.Errorf("grid spec: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return Grid{}, err
 	}
 	return g, nil
 }

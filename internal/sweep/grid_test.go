@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -10,8 +12,8 @@ import (
 func TestExpandCrossProduct(t *testing.T) {
 	g := Grid{
 		Benches:        []string{"gzip", "gsm.de", "gzip"}, // duplicate dropped
-		MachineConfigs: []string{"4w", "6w"},
-		RenoConfigs:    []string{"BASE", "ME+CF", "RENO"},
+		MachineConfigs: Specs("4w", "6w"),
+		RenoConfigs:    Specs("BASE", "ME+CF", "RENO"),
 		Seeds:          []int64{0, 5},
 	}
 	jobs, err := g.Expand()
@@ -57,7 +59,7 @@ func TestExpandSuiteAliases(t *testing.T) {
 		{[]string{"spec", "gzip"}, spec}, // member of an already-added suite
 		{[]string{"micro.chase"}, 1},
 	} {
-		jobs, err := Grid{Benches: tc.names, RenoConfigs: []string{"BASE"}}.Expand()
+		jobs, err := Grid{Benches: tc.names, RenoConfigs: Specs("BASE")}.Expand()
 		if err != nil {
 			t.Fatalf("%v: %v", tc.names, err)
 		}
@@ -71,11 +73,11 @@ func TestExpandErrors(t *testing.T) {
 	for _, g := range []Grid{
 		{},
 		{Benches: []string{"no-such-bench"}},
-		{Benches: []string{"gzip"}, MachineConfigs: []string{"8w"}},
-		{Benches: []string{"gzip"}, MachineConfigs: []string{"4w:q9"}},
-		{Benches: []string{"gzip"}, MachineConfigs: []string{"4w:p-5"}},
-		{Benches: []string{"gzip"}, MachineConfigs: []string{"4w:i3t1"}},
-		{Benches: []string{"gzip"}, RenoConfigs: []string{"TURBO"}},
+		{Benches: []string{"gzip"}, MachineConfigs: Specs("8w")},
+		{Benches: []string{"gzip"}, MachineConfigs: Specs("4w:q9")},
+		{Benches: []string{"gzip"}, MachineConfigs: Specs("4w:p-5")},
+		{Benches: []string{"gzip"}, MachineConfigs: Specs("4w:i3t1")},
+		{Benches: []string{"gzip"}, RenoConfigs: Specs("TURBO")},
 	} {
 		if _, err := g.Expand(); err == nil {
 			t.Errorf("grid %+v expanded without error", g)
@@ -131,6 +133,209 @@ func TestParseGridJSON(t *testing.T) {
 		t.Error("unknown field accepted")
 	} else if !strings.Contains(err.Error(), "benchs") {
 		t.Errorf("unhelpful error %v", err)
+	}
+}
+
+// TestGoldenGridV1 pins the v1 string-only schema: the checked-in spec must
+// keep parsing and expanding exactly as before the registry redesign.
+func TestGoldenGridV1(t *testing.T) {
+	data, err := os.ReadFile("testdata/grid_v1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseGridJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Version != 0 {
+		t.Errorf("v1 golden has version %d", g.Version)
+	}
+	jobs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2 * 2; len(jobs) != want {
+		t.Fatalf("expanded %d jobs, want %d", len(jobs), want)
+	}
+	if tag := jobs[2].Tag(); tag != "4w/RENO" {
+		t.Errorf("job 2 tag %q", tag)
+	}
+	var sawMod bool
+	for _, j := range jobs {
+		if j.Machine == "4w:p128:s2" {
+			sawMod = true
+			if j.Cfg.Reno.PhysRegs != 128 || j.Cfg.SchedLoop != 2 {
+				t.Errorf("modifier spec not applied: %+v", j.Cfg)
+			}
+		}
+	}
+	if !sawMod {
+		t.Error("modifier machine spec missing from expansion")
+	}
+}
+
+// TestGoldenGridV2 pins the v2 schema: inline machine and RENO objects
+// resolve through the registry and produce configurations no v1 string
+// spec can express (a 256-entry ROB on the 4-wide base).
+func TestGoldenGridV2(t *testing.T) {
+	data, err := os.ReadFile("testdata/grid_v2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseGridJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Version != 2 {
+		t.Fatalf("golden v2 parsed with version %d", g.Version)
+	}
+	jobs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 * 2 * 2; len(jobs) != want {
+		t.Fatalf("expanded %d jobs, want %d", len(jobs), want)
+	}
+	byTag := map[string]Job{}
+	for _, j := range jobs {
+		byTag[j.Tag()] = j
+	}
+	j, ok := byTag["4w-bigrob/RENO-1k4"]
+	if !ok {
+		t.Fatalf("missing inline-spec job; have %v", keys(byTag))
+	}
+	if j.Cfg.ROBSize != 256 || j.Cfg.Reno.PhysRegs != 224 || j.Cfg.IQSize != 64 {
+		t.Errorf("inline machine overrides not applied: %+v", j.Cfg)
+	}
+	if j.Cfg.Reno.ITEntries != 1024 || j.Cfg.Reno.ITWays != 4 {
+		t.Errorf("inline reno overrides not applied: %+v", j.Cfg.Reno)
+	}
+	if base, ok := byTag["4w/BASE"]; !ok || base.Cfg.ROBSize != 128 {
+		t.Errorf("plain string spec changed: %+v", base.Cfg)
+	}
+	// The grid must survive a JSON round trip (Report embeds it).
+	re, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseGridJSON(re)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	jobs2, err := g2.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs2) != len(jobs) || jobs2[len(jobs2)-1].Tag() != jobs[len(jobs)-1].Tag() {
+		t.Error("grid round trip changed the expansion")
+	}
+}
+
+func keys(m map[string]Job) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestGridVersionRules: inline specs demand version 2, and unknown future
+// versions are rejected rather than misread.
+func TestGridVersionRules(t *testing.T) {
+	inline := `{"benches": ["gzip"], "machines": [{"base": "4w", "rob_size": 256}]}`
+	if _, err := ParseGridJSON([]byte(inline)); err == nil {
+		t.Error("inline machine spec accepted without version 2")
+	} else if !strings.Contains(err.Error(), `"version": 2`) {
+		t.Errorf("unhelpful version error: %v", err)
+	}
+	inlineReno := `{"version": 1, "benches": ["gzip"], "renos": [{"base": "RENO"}]}`
+	if _, err := ParseGridJSON([]byte(inlineReno)); err == nil {
+		t.Error("inline reno spec accepted at version 1")
+	}
+	future := `{"version": 3, "benches": ["gzip"]}`
+	if _, err := ParseGridJSON([]byte(future)); err == nil {
+		t.Error("future version accepted")
+	} else if !strings.Contains(err.Error(), "unsupported version") {
+		t.Errorf("unhelpful future-version error: %v", err)
+	}
+	ok := `{"version": 2, "benches": ["gzip"], "machines": [{"base": "4w", "rob_size": 256}]}`
+	if _, err := ParseGridJSON([]byte(ok)); err != nil {
+		t.Errorf("valid v2 grid rejected: %v", err)
+	}
+}
+
+// TestExpandValidatesInlineSpecs: a structurally bad inline config fails at
+// expansion with a field-level error, not mid-sweep.
+func TestExpandValidatesInlineSpecs(t *testing.T) {
+	g := Grid{
+		Version:        2,
+		Benches:        []string{"gzip"},
+		MachineConfigs: []Spec{{Raw: json.RawMessage(`{"base": "4w", "iq_size": 400}`)}},
+	}
+	_, err := g.Expand()
+	if err == nil {
+		t.Fatal("invalid inline spec expanded")
+	}
+	if !strings.Contains(err.Error(), "iq_size") {
+		t.Errorf("error %q does not name the field", err)
+	}
+}
+
+// TestExpandRejectsDuplicateTags: a repeated axis entry — or an inline
+// "name" shadowing another spec's tag — must fail loudly rather than emit
+// indistinguishable result records.
+func TestExpandRejectsDuplicateTags(t *testing.T) {
+	dup := Grid{Benches: []string{"gzip"}, MachineConfigs: Specs("4w", "4w"), RenoConfigs: Specs("BASE")}
+	if _, err := dup.Expand(); err == nil || !strings.Contains(err.Error(), "duplicate configuration") {
+		t.Errorf("duplicate machine entry expanded: %v", err)
+	}
+	shadow := Grid{
+		Version: 2,
+		Benches: []string{"gzip"},
+		MachineConfigs: []Spec{
+			{Name: "4w"},
+			{Raw: json.RawMessage(`{"base": "4w", "name": "4w", "rob_size": 256}`)},
+		},
+		RenoConfigs: Specs("BASE"),
+	}
+	if _, err := shadow.Expand(); err == nil || !strings.Contains(err.Error(), `"4w/BASE"`) {
+		t.Errorf("inline name shadowing a string spec expanded: %v", err)
+	}
+}
+
+// TestSpecReuseDoesNotLeakState: decoding a string spec into a Spec that
+// previously held an inline object must not keep the stale Raw.
+func TestSpecReuseDoesNotLeakState(t *testing.T) {
+	var s Spec
+	if err := json.Unmarshal([]byte(`{"base": "4w", "rob_size": 256}`), &s); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(`"6w"`), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Inline() || s.Name != "6w" {
+		t.Errorf("reused Spec kept stale state: %+v", s)
+	}
+}
+
+// TestSpecJSONForms pins the Spec wire behavior both ways.
+func TestSpecJSONForms(t *testing.T) {
+	var s Spec
+	if err := json.Unmarshal([]byte(`"4w"`), &s); err != nil || s.Name != "4w" || s.Inline() {
+		t.Errorf("string form: %+v %v", s, err)
+	}
+	if err := json.Unmarshal([]byte(`{"base": "4w"}`), &s); err != nil || !s.Inline() {
+		t.Errorf("object form: %+v %v", s, err)
+	}
+	if err := json.Unmarshal([]byte(`17`), &s); err == nil {
+		t.Error("numeric spec accepted")
+	}
+	out, err := json.Marshal([]Spec{{Name: "6w"}, {Raw: json.RawMessage("{\"base\":\n\"4w\"}")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `["6w",{"base":"4w"}]` {
+		t.Errorf("marshal form %s", out)
 	}
 }
 

@@ -16,6 +16,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -121,6 +122,11 @@ type Options struct {
 	Scale float64
 	// MaxInsts caps timed instructions per run (0 = to completion).
 	MaxInsts uint64
+	// Timeout bounds each run's wall-clock time (0 = none). A run that
+	// exceeds it is recorded as failed with its partial statistics;
+	// because the cutoff is wall-clock, timed-out runs are not
+	// deterministic across machines.
+	Timeout time.Duration
 	// Progress, when non-nil, is called once per completed run, serialized
 	// by the pool (no locking needed in the callback). done counts
 	// completed runs including this one; total is len(jobs).
@@ -156,8 +162,19 @@ func SeedProfile(p workload.Profile, seed int64) workload.Profile {
 }
 
 // Run executes jobs on the bounded pool and returns one Result per job, in
-// job order regardless of scheduling.
+// job order regardless of scheduling. It is RunContext without
+// cancellation.
 func Run(jobs []Job, opts Options) []*Result {
+	return RunContext(context.Background(), jobs, opts)
+}
+
+// RunContext executes jobs on the bounded pool under ctx. When ctx is
+// canceled, in-flight simulations stop promptly and record their partial
+// statistics with Err set; jobs not yet started are marked canceled without
+// running. RunContext always waits for its workers to exit before
+// returning, so no goroutines outlive the call, and every slot in the
+// returned slice is non-nil.
+func RunContext(ctx context.Context, jobs []Job, opts Options) []*Result {
 	results := make([]*Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -201,7 +218,7 @@ func Run(jobs []Job, opts Options) []*Result {
 			defer wg.Done()
 			for sp := range spans {
 				for i := sp.lo; i < sp.hi; i++ {
-					r := runOne(jobs[i], builds[buildKey(jobs[i].Profile, jobs[i].Seed)], opts)
+					r := runOne(ctx, jobs[i], builds[buildKey(jobs[i].Profile, jobs[i].Seed)], opts)
 					results[i] = r
 					mu.Lock()
 					done++
@@ -225,7 +242,7 @@ func scaleOf(o Options) float64 {
 }
 
 // runOne executes a single job and fills in its Result.
-func runOne(j Job, b *built, opts Options) *Result {
+func runOne(ctx context.Context, j Job, b *built, opts Options) *Result {
 	r := &Result{
 		Bench:   j.Profile.Name,
 		Suite:   j.Profile.Suite,
@@ -239,11 +256,32 @@ func runOne(j Job, b *built, opts Options) *Result {
 		r.Hash = hashResult(r)
 		return r
 	}
+	if ctx.Err() != nil {
+		// The sweep was canceled before this job started.
+		r.Err = ctx.Err().Error()
+		r.Hash = hashResult(r)
+		return r
+	}
+	rctx := ctx
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	t0 := time.Now()
-	res, archHash, err := pipeline.RunProgram(j.Cfg, b.prog.Code, b.warm, opts.MaxInsts)
+	res, archHash, err := pipeline.RunProgramContext(rctx, j.Cfg, b.prog.Code, b.warm, opts.MaxInsts, pipeline.RunOptions{})
 	r.WallNS = time.Since(t0).Nanoseconds()
 	if err != nil {
 		r.Err = err.Error()
+		if res != nil {
+			// Canceled or timed out mid-run: keep the partial counters
+			// for progress reporting, but not the architectural hash —
+			// mid-program state is not the equivalence witness Audit
+			// compares (Audit already skips runs with Err set).
+			r.Cycles = res.Cycles
+			r.Insts = res.Insts
+			r.IPC = res.IPC
+		}
 		r.Hash = hashResult(r)
 		return r
 	}

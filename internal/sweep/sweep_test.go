@@ -2,16 +2,19 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // tinyGrid is a small but real multi-axis grid used across the tests.
 func tinyGrid() Grid {
 	return Grid{
 		Benches:        []string{"gzip", "gsm.de"},
-		MachineConfigs: []string{"4w", "6w"},
-		RenoConfigs:    []string{"BASE", "RENO"},
+		MachineConfigs: Specs("4w", "6w"),
+		RenoConfigs:    Specs("BASE", "RENO"),
 		Scale:          0.1,
 		MaxInsts:       10_000,
 	}
@@ -93,8 +96,8 @@ func TestHashCoversOutcome(t *testing.T) {
 func TestSeedsProduceDistinctDeterministicRuns(t *testing.T) {
 	g := Grid{
 		Benches:        []string{"gzip"},
-		MachineConfigs: []string{"4w"},
-		RenoConfigs:    []string{"RENO"},
+		MachineConfigs: Specs("4w"),
+		RenoConfigs:    Specs("RENO"),
 		Seeds:          []int64{0, 1},
 		Scale:          0.1,
 		MaxInsts:       10_000,
@@ -133,8 +136,8 @@ func TestAuditCatchesDivergence(t *testing.T) {
 func TestRunManyJobsBounded(t *testing.T) {
 	g := Grid{
 		Benches:        []string{"micro.compute"},
-		MachineConfigs: []string{"4w"},
-		RenoConfigs:    []string{"BASE"},
+		MachineConfigs: Specs("4w"),
+		RenoConfigs:    Specs("BASE"),
 		Scale:          0.05,
 		MaxInsts:       500,
 	}
@@ -167,6 +170,112 @@ func TestRunManyJobsBounded(t *testing.T) {
 		if r.Seed != many[i].Seed {
 			t.Fatalf("result %d out of order: seed %d want %d", i, r.Seed, many[i].Seed)
 		}
+	}
+}
+
+// TestRunContextCancellation: canceling mid-sweep stops promptly, leaves no
+// goroutines behind, fills every result slot, and marks unfinished runs as
+// errors rather than dropping them.
+func TestRunContextCancellation(t *testing.T) {
+	g := Grid{
+		Benches:        []string{"gzip", "gsm.de"},
+		MachineConfigs: Specs("4w", "6w"),
+		RenoConfigs:    Specs("BASE", "RENO"),
+		Seeds:          []int64{0, 1, 2},
+		Scale:          0.3,
+	}
+	jobs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{Workers: 2, Scale: 0.3}
+	first := true
+	opts.Progress = func(done, total int, r *Result) {
+		if first {
+			first = false
+			cancel()
+		}
+	}
+	t0 := time.Now()
+	results := RunContext(ctx, jobs, opts)
+	elapsed := time.Since(t0)
+	cancel()
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	var failed, completed int
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("slot %d nil after cancellation", i)
+		}
+		if r.Err != "" {
+			failed++
+			if !strings.Contains(r.Err, "canceled") {
+				t.Errorf("%s: unexpected error %q", r.Key(), r.Err)
+			}
+		} else {
+			completed++
+		}
+	}
+	if failed == 0 {
+		t.Errorf("cancellation after the first run failed nothing (%d jobs, %s elapsed)", len(jobs), elapsed)
+	}
+	if completed == 0 {
+		t.Error("the run that triggered cancellation should have completed")
+	}
+	// Workers are joined before RunContext returns: allow scheduler slack
+	// but catch leaked pools.
+	time.Sleep(10 * time.Millisecond)
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d across a canceled sweep", before, after)
+	}
+}
+
+// TestRunContextPreCanceled: a sweep under an already-dead context runs
+// nothing and says so on every result.
+func TestRunContextPreCanceled(t *testing.T) {
+	jobs, err := tinyGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := RunContext(ctx, jobs, Options{Workers: 4, Scale: 0.1})
+	for _, r := range results {
+		if r == nil || r.Err == "" {
+			t.Fatalf("pre-canceled sweep produced a live result: %+v", r)
+		}
+		if r.Insts != 0 {
+			t.Errorf("%s simulated %d insts under a dead context", r.Key(), r.Insts)
+		}
+	}
+}
+
+// TestPerRunTimeout: an unmeetable per-run budget fails runs with partial
+// statistics instead of hanging the sweep.
+func TestPerRunTimeout(t *testing.T) {
+	g := Grid{
+		Benches:        []string{"gzip"},
+		MachineConfigs: Specs("4w"),
+		RenoConfigs:    Specs("BASE"),
+		Scale:          1.0,
+	}
+	jobs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := Run(jobs, Options{Workers: 1, Scale: 1.0, Timeout: time.Nanosecond})
+	r := results[0]
+	if r.Err == "" {
+		t.Fatal("nanosecond budget did not time the run out")
+	}
+	if !strings.Contains(r.Err, "deadline") {
+		t.Errorf("error %q does not mention the deadline", r.Err)
+	}
+	if r.ArchHash != "" {
+		t.Error("partial run kept an architectural hash; Audit would compare mid-program state")
 	}
 }
 
