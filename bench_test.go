@@ -157,6 +157,35 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSteadyStateCommit measures the warm cycle loop in isolation:
+// one Sim over a looped gzip trace, advanced 5000 cycles per iteration.
+// With -benchmem this is the zero-alloc witness for the hot path — the
+// steady-state fetch→rename→issue→commit loop must report 0 allocs/op
+// (TestSteadyStateCommitPathZeroAllocs enforces the same property in plain
+// `go test` runs).
+func BenchmarkSteadyStateCommit(b *testing.B) {
+	s, budget := steadySim(b)
+	var insts0 uint64
+	if res, err := s.RunContext(context.Background(), pipeline.RunOptions{MaxCycles: budget}); err == nil {
+		insts0 = res.Insts
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *pipeline.Result
+	for i := 0; i < b.N; i++ {
+		budget += 5_000
+		res, err := s.RunContext(context.Background(), pipeline.RunOptions{MaxCycles: budget})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(float64(last.Insts-insts0)/b.Elapsed().Seconds(), "simInsts/s")
+		b.ReportMetric(float64(b.N)*5000/b.Elapsed().Seconds(), "simCycles/s")
+	}
+}
+
 // BenchmarkRenameGroup measures the RENO optimizer's rename throughput in
 // isolation (groups per second), the structure Section 3.2 argues fits a
 // two-stage rename pipeline.

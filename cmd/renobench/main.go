@@ -15,6 +15,16 @@
 //	renobench -fig all          # everything
 //
 // -scale and -max trade runtime for measurement length.
+//
+// A second mode measures the simulator itself rather than the simulated
+// core: -bench-json times the detailed pipeline on every (machine preset,
+// benchmark) pair and writes BENCH_pipeline.json — simulated MIPS, cycles
+// per second, and allocations per kilo-instruction, with the recorded
+// pre-optimization baseline embedded for comparison (see
+// docs/benchmarking.md):
+//
+//	renobench -bench-json BENCH_pipeline.json
+//	renobench -bench-json out.json -bench-machines 4w -bench-benches gzip -max 30000
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,10 +47,44 @@ func main() {
 	serial := flag.Bool("serial", false, "disable parallel simulation")
 	workers := flag.Int("workers", 0, "sweep pool size (0 = GOMAXPROCS; ignored with -serial)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
+	benchJSON := flag.String("bench-json", "", "measure simulator throughput and write BENCH_pipeline.json to this path instead of regenerating figures")
+	benchMachines := flag.String("bench-machines", "4w,6w", "machine presets for -bench-json (comma-separated registry specs)")
+	benchBenches := flag.String("bench-benches", "gzip,gsm.de", "workloads for -bench-json (comma-separated)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *benchJSON != "" {
+		// Throughput mode defaults -max to the baseline's measurement
+		// length unless the user overrode it.
+		max := *maxInsts
+		if !flagSet("max") {
+			max = 100_000
+		}
+		rep, err := harness.BenchPipeline(ctx,
+			strings.Split(*benchMachines, ","), strings.Split(*benchBenches, ","), max, *scale, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "renobench: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "renobench: %v\n", err)
+			os.Exit(1)
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "renobench: write %s: %v\n", *benchJSON, werr)
+			os.Exit(1)
+		}
+		rep.FprintSummary(os.Stdout)
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return
+	}
 
 	opts := harness.Options{Scale: *scale, MaxInsts: *maxInsts, Parallel: !*serial, Workers: *workers, Timeout: *timeout}
 	w := os.Stdout
@@ -92,4 +137,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "renobench: interrupted")
 		os.Exit(130)
 	}
+}
+
+// flagSet reports whether the named flag was set explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

@@ -35,9 +35,12 @@ type Predictor struct {
 	chooser []uint8 // 2-bit: >=2 selects gshare
 	history uint64
 
-	btbTags [][]uint64
-	btbTgts [][]uint64
-	btbLRU  [][]uint8
+	// BTB arrays are flat (set-major, btbSets×BTBWays): one allocation each
+	// and contiguous way scans, instead of three slice headers per set.
+	btbSets int
+	btbTags []uint64
+	btbTgts []uint64
+	btbLRU  []uint8
 
 	ras    []uint64
 	rasTop int
@@ -64,20 +67,22 @@ func New(cfg Config) *Predictor {
 	for i := range p.chooser {
 		p.chooser[i] = 1
 	}
-	sets := cfg.BTBEntries / cfg.BTBWays
-	p.btbTags = make([][]uint64, sets)
-	p.btbTgts = make([][]uint64, sets)
-	p.btbLRU = make([][]uint8, sets)
-	for s := 0; s < sets; s++ {
-		p.btbTags[s] = make([]uint64, cfg.BTBWays)
-		p.btbTgts[s] = make([]uint64, cfg.BTBWays)
-		p.btbLRU[s] = make([]uint8, cfg.BTBWays)
-		for w := range p.btbTags[s] {
-			p.btbTags[s][w] = ^uint64(0)
-		}
+	p.btbSets = cfg.BTBEntries / cfg.BTBWays
+	p.btbTags = make([]uint64, cfg.BTBEntries)
+	p.btbTgts = make([]uint64, cfg.BTBEntries)
+	p.btbLRU = make([]uint8, cfg.BTBEntries)
+	for i := range p.btbTags {
+		p.btbTags[i] = ^uint64(0)
 	}
 	p.ras = make([]uint64, cfg.RASEntries)
 	return p
+}
+
+// btbSet returns the way-slice bounds of pc's BTB set.
+func (p *Predictor) btbSet(pc uint64) (lo, hi int) {
+	set := int(pc % uint64(p.btbSets))
+	lo = set * p.cfg.BTBWays
+	return lo, lo + p.cfg.BTBWays
 }
 
 func (p *Predictor) bimodalIdx(pc uint64) uint64 {
@@ -156,12 +161,12 @@ func b2u(b bool) uint64 {
 // redirect by a cycle and is otherwise treated as a not-taken prediction).
 func (p *Predictor) PredictTarget(pc uint64) (target uint64, ok bool) {
 	p.BTBLookups++
-	set := pc % uint64(len(p.btbTags))
-	for w, tag := range p.btbTags[set] {
-		if tag == pc {
+	lo, hi := p.btbSet(pc)
+	for i := lo; i < hi; i++ {
+		if p.btbTags[i] == pc {
 			p.BTBHits++
-			p.touchBTB(set, w)
-			return p.btbTgts[set][w], true
+			p.touchBTB(lo, hi, i)
+			return p.btbTgts[i], true
 		}
 	}
 	return 0, false
@@ -169,34 +174,34 @@ func (p *Predictor) PredictTarget(pc uint64) (target uint64, ok bool) {
 
 // UpdateTarget installs or refreshes a BTB entry.
 func (p *Predictor) UpdateTarget(pc, target uint64) {
-	set := pc % uint64(len(p.btbTags))
+	lo, hi := p.btbSet(pc)
 	// Hit: update in place.
-	for w, tag := range p.btbTags[set] {
-		if tag == pc {
-			p.btbTgts[set][w] = target
-			p.touchBTB(set, w)
+	for i := lo; i < hi; i++ {
+		if p.btbTags[i] == pc {
+			p.btbTgts[i] = target
+			p.touchBTB(lo, hi, i)
 			return
 		}
 	}
 	// Miss: replace LRU (highest age).
-	victim, worst := 0, uint8(0)
-	for w, age := range p.btbLRU[set] {
-		if age >= worst {
-			worst, victim = age, w
+	victim, worst := lo, uint8(0)
+	for i := lo; i < hi; i++ {
+		if p.btbLRU[i] >= worst {
+			worst, victim = p.btbLRU[i], i
 		}
 	}
-	p.btbTags[set][victim] = pc
-	p.btbTgts[set][victim] = target
-	p.touchBTB(set, victim)
+	p.btbTags[victim] = pc
+	p.btbTgts[victim] = target
+	p.touchBTB(lo, hi, victim)
 }
 
-func (p *Predictor) touchBTB(set uint64, way int) {
-	for w := range p.btbLRU[set] {
-		if p.btbLRU[set][w] < 255 {
-			p.btbLRU[set][w]++
+func (p *Predictor) touchBTB(lo, hi, way int) {
+	for i := lo; i < hi; i++ {
+		if p.btbLRU[i] < 255 {
+			p.btbLRU[i]++
 		}
 	}
-	p.btbLRU[set][way] = 0
+	p.btbLRU[way] = 0
 }
 
 // PushRAS records a call's return address.

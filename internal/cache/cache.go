@@ -117,12 +117,14 @@ func (h *Hierarchy) Reset() {
 	h.MemAccesses, h.BusWaits, h.MSHRWaits = 0, 0, 0
 }
 
-// Cache is one set-associative level with LRU replacement.
+// Cache is one set-associative level with LRU replacement. The tag and age
+// arrays are flat (set-major, sets×Ways): two allocations per cache and
+// contiguous way scans on the per-access hot path.
 type Cache struct {
 	cfg  Config
 	sets int
-	tags [][]uint64
-	age  [][]uint32
+	tags []uint64
+	age  []uint32
 	tick uint32
 
 	Accesses uint64
@@ -136,16 +138,19 @@ func New(cfg Config) *Cache {
 		sets = 1
 	}
 	c := &Cache{cfg: cfg, sets: sets}
-	c.tags = make([][]uint64, sets)
-	c.age = make([][]uint32, sets)
-	for s := 0; s < sets; s++ {
-		c.tags[s] = make([]uint64, cfg.Ways)
-		c.age[s] = make([]uint32, cfg.Ways)
-		for w := range c.tags[s] {
-			c.tags[s][w] = ^uint64(0)
-		}
+	c.tags = make([]uint64, sets*cfg.Ways)
+	c.age = make([]uint32, sets*cfg.Ways)
+	for i := range c.tags {
+		c.tags[i] = ^uint64(0)
 	}
 	return c
+}
+
+// setBounds returns the way-slice bounds of addr's set.
+func (c *Cache) setBounds(addr uint64) (lo, hi int, tag uint64) {
+	set, t := c.index(addr)
+	lo = int(set) * c.cfg.Ways
+	return lo, lo + c.cfg.Ways, t
 }
 
 // Config returns the cache geometry.
@@ -160,10 +165,10 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	c.tick++
-	set, tag := c.index(addr)
-	for w, t := range c.tags[set] {
-		if t == tag {
-			c.age[set][w] = c.tick
+	lo, hi, tag := c.setBounds(addr)
+	for i := lo; i < hi; i++ {
+		if c.tags[i] == tag {
+			c.age[i] = c.tick
 			return true
 		}
 	}
@@ -173,27 +178,27 @@ func (c *Cache) Access(addr uint64) bool {
 
 // Fill allocates the block containing addr, evicting LRU.
 func (c *Cache) Fill(addr uint64) {
-	set, tag := c.index(addr)
-	victim, oldest := 0, c.age[set][0]
-	for w, t := range c.tags[set] {
-		if t == ^uint64(0) {
-			victim = w
+	lo, hi, tag := c.setBounds(addr)
+	victim, oldest := lo, c.age[lo]
+	for i := lo; i < hi; i++ {
+		if c.tags[i] == ^uint64(0) {
+			victim = i
 			break
 		}
-		if c.age[set][w] < oldest {
-			victim, oldest = w, c.age[set][w]
+		if c.age[i] < oldest {
+			victim, oldest = i, c.age[i]
 		}
 	}
-	c.tags[set][victim] = tag
+	c.tags[victim] = tag
 	c.tick++
-	c.age[set][victim] = c.tick
+	c.age[victim] = c.tick
 }
 
 // Contains reports whether addr's block is resident (no LRU update).
 func (c *Cache) Contains(addr uint64) bool {
-	set, tag := c.index(addr)
-	for _, t := range c.tags[set] {
-		if t == tag {
+	lo, hi, tag := c.setBounds(addr)
+	for i := lo; i < hi; i++ {
+		if c.tags[i] == tag {
 			return true
 		}
 	}
@@ -202,11 +207,9 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // Reset clears the cache.
 func (c *Cache) Reset() {
-	for s := range c.tags {
-		for w := range c.tags[s] {
-			c.tags[s][w] = ^uint64(0)
-			c.age[s][w] = 0
-		}
+	for i := range c.tags {
+		c.tags[i] = ^uint64(0)
+		c.age[i] = 0
 	}
 	c.tick = 0
 	c.Accesses, c.Misses = 0, 0

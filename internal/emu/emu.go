@@ -20,8 +20,17 @@ import (
 // Memory is a sparse, paged, word-addressed (8-byte word) data memory. Pages
 // are allocated on first touch and initialized to zero, so freestanding
 // programs can use any address.
+//
+// Accesses are strongly page-local (array sweeps, stack frames), so Memory
+// keeps a one-entry cache of the last page touched: the common case costs a
+// compare instead of a map lookup, which matters because the trace feed runs
+// Load/Store once per simulated memory instruction. The cache makes even
+// Load a mutating operation: a Memory must not be shared between goroutines
+// without external synchronization (each sweep worker owns its emulator).
 type Memory struct {
-	pages map[uint64]*[pageWords]uint64
+	pages    map[uint64]*[pageWords]uint64
+	lastPN   uint64
+	lastPage *[pageWords]uint64
 }
 
 const (
@@ -37,10 +46,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint64, create bool) *[pageWords]uint64 {
 	pn := addr >> pageShift
+	if p := m.lastPage; p != nil && pn == m.lastPN {
+		return p
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new([pageWords]uint64)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }

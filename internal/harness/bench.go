@@ -1,0 +1,277 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	machreg "reno/internal/machine"
+	"reno/internal/pipeline"
+	"reno/internal/workload"
+)
+
+// BenchSchema identifies the BENCH_pipeline.json format; bump on any
+// incompatible change. See docs/benchmarking.md for the field-by-field
+// schema and comparison guidance.
+const BenchSchema = "reno-bench-pipeline/v1"
+
+// BenchCell is one (machine preset, benchmark) simulator-throughput
+// measurement: how fast the detailed pipeline simulates that workload on
+// the host, not how fast the simulated core runs it (that is IPC).
+type BenchCell struct {
+	Machine string `json:"machine"`
+	Bench   string `json:"bench"`
+
+	Insts  uint64  `json:"insts"`  // timed committed instructions
+	Cycles uint64  `json:"cycles"` // simulated cycles
+	IPC    float64 `json:"ipc"`    // simulated-core performance (sanity anchor)
+
+	WallNS            int64   `json:"wall_ns"`
+	MIPS              float64 `json:"mips"`           // simulated megainstructions per wall second
+	CyclesPerSec      float64 `json:"cycles_per_sec"` // simulated cycles per wall second
+	AllocsPerKiloInst float64 `json:"allocs_per_kilo_inst"`
+	BytesPerKiloInst  float64 `json:"bytes_per_kilo_inst"`
+}
+
+// Key returns the cell's baseline-lookup key, "machine/bench".
+func (c BenchCell) Key() string { return c.Machine + "/" + c.Bench }
+
+// BenchTotals aggregates a bench run.
+type BenchTotals struct {
+	Insts             uint64  `json:"insts"`
+	WallNS            int64   `json:"wall_ns"`
+	MIPS              float64 `json:"mips"`
+	AllocsPerKiloInst float64 `json:"allocs_per_kilo_inst"`
+}
+
+// BenchBaseline is a recorded reference measurement. MIPS and
+// AllocsPerKiloInst are keyed by BenchCell.Key. Absolute MIPS is
+// host-specific, so speedups against a baseline recorded on different
+// hardware describe the hardware as much as the code; the trajectory is
+// meaningful run-over-run on comparable machines (such as the CI runner
+// class, or one developer box over time).
+type BenchBaseline struct {
+	Label             string             `json:"label"`
+	MIPS              map[string]float64 `json:"mips"`
+	AllocsPerKiloInst map[string]float64 `json:"allocs_per_kilo_inst"`
+}
+
+// PrePRBaseline is the simulator's throughput immediately before the
+// hot-path performance pass (repo state "PR 2"), measured with this exact
+// serial procedure (reno.Default configs, 100k timed instructions, scale
+// 1.0, mean of two runs) on the development machine (Intel Xeon @ 2.10GHz,
+// go1.22). It is the reference the performance pass is judged against:
+// BENCH_pipeline.json embeds it so every emitted report carries its own
+// before/after comparison.
+var PrePRBaseline = BenchBaseline{
+	Label: "pre-optimization (PR 2, Xeon 2.10GHz)",
+	MIPS: map[string]float64{
+		"4w/gzip":   0.916,
+		"4w/gsm.de": 0.841,
+		"6w/gzip":   0.975,
+		"6w/gsm.de": 0.924,
+	},
+	AllocsPerKiloInst: map[string]float64{
+		"4w/gzip":   826.4,
+		"4w/gsm.de": 808.9,
+		"6w/gzip":   689.5,
+		"6w/gsm.de": 709.1,
+	},
+}
+
+// BenchReport is the serialized form of one benchmark pass
+// (BENCH_pipeline.json).
+type BenchReport struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	MaxInsts uint64  `json:"max_insts"`
+	Scale    float64 `json:"scale"`
+
+	Cells  []BenchCell `json:"cells"`
+	Totals BenchTotals `json:"totals"`
+
+	// Baseline is the recorded reference; SpeedupPct compares Totals.MIPS
+	// against the baseline's expected throughput over the same cells
+	// (NaN-free: omitted when no measured cell has a baseline entry).
+	Baseline   *BenchBaseline `json:"baseline,omitempty"`
+	SpeedupPct *float64       `json:"speedup_pct_vs_baseline,omitempty"`
+}
+
+// BenchPipeline measures detailed-simulator throughput for every (machine
+// preset, benchmark) pair, serially (parallel runs would contend for cores
+// and understate per-run speed). Machine specs go through the
+// machine-registry DSL, so "4w", "6w", or modified forms like "4w:p128"
+// all work. Each cell runs once untimed to warm the host caches, then once
+// timed with allocation counters sampled around it. timeout bounds each
+// individual run's wall-clock time (0 = none); an exceeded budget fails
+// the whole pass, since a partial cell would poison the trajectory.
+func BenchPipeline(ctx context.Context, machines, benches []string, maxInsts uint64, scale float64, timeout time.Duration) (*BenchReport, error) {
+	rep := &BenchReport{
+		Schema:    BenchSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		MaxInsts:  maxInsts,
+		Scale:     scale,
+	}
+	for _, bench := range benches {
+		prof, ok := workload.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown workload %q", bench)
+		}
+		w, err := workload.Build(workload.Scale(prof, scale))
+		if err != nil {
+			return nil, fmt.Errorf("bench: build %s: %w", bench, err)
+		}
+		warm, err := w.WarmupCount()
+		if err != nil {
+			return nil, fmt.Errorf("bench: warmup %s: %w", bench, err)
+		}
+		for _, mach := range machines {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			rc, err := machreg.RenoByName("RENO")
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := machreg.ParseMachine(mach, rc)
+			if err != nil {
+				return nil, fmt.Errorf("bench: machine %q: %w", mach, err)
+			}
+			cell, err := benchOne(ctx, mach, bench, cfg, w, warm, maxInsts, timeout)
+			if err != nil {
+				return nil, err
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	rep.finish(&PrePRBaseline)
+	return rep, nil
+}
+
+// benchOne times one cell: an untimed warm run, then a timed run bracketed
+// by memory-statistics samples. Each of the two runs gets its own timeout
+// budget when one is set.
+func benchOne(ctx context.Context, mach, bench string, cfg pipeline.Config, w *workload.Program, warm, maxInsts uint64, timeout time.Duration) (BenchCell, error) {
+	runCtx := func() (context.Context, context.CancelFunc) {
+		if timeout > 0 {
+			return context.WithTimeout(ctx, timeout)
+		}
+		return ctx, func() {}
+	}
+	cell := BenchCell{Machine: mach, Bench: bench}
+	wctx, cancel := runCtx()
+	_, _, err := pipeline.RunProgramContext(wctx, cfg, w.Code, warm, maxInsts, pipeline.RunOptions{})
+	cancel()
+	if err != nil {
+		return cell, fmt.Errorf("bench %s/%s (warm run): %w", mach, bench, err)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	tctx, cancel := runCtx()
+	defer cancel()
+	t0 := time.Now()
+	res, _, err := pipeline.RunProgramContext(tctx, cfg, w.Code, warm, maxInsts, pipeline.RunOptions{})
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return cell, fmt.Errorf("bench %s/%s: %w", mach, bench, err)
+	}
+	cell.Insts = res.Insts
+	cell.Cycles = res.Cycles
+	cell.IPC = res.IPC
+	cell.WallNS = wall.Nanoseconds()
+	if s := wall.Seconds(); s > 0 {
+		cell.MIPS = float64(res.Insts) / s / 1e6
+		cell.CyclesPerSec = float64(res.Cycles) / s
+	}
+	if res.Insts > 0 {
+		kinsts := float64(res.Insts) / 1000
+		cell.AllocsPerKiloInst = float64(m1.Mallocs-m0.Mallocs) / kinsts
+		cell.BytesPerKiloInst = float64(m1.TotalAlloc-m0.TotalAlloc) / kinsts
+	}
+	return cell, nil
+}
+
+// finish computes totals and the baseline comparison. The baseline's
+// expected total is reconstructed from per-cell MIPS over exactly the cells
+// measured (and having baseline entries), so partial runs — e.g. the CI
+// smoke's 4w-only pass — still compare like against like.
+func (rep *BenchReport) finish(base *BenchBaseline) {
+	var wallNS int64
+	var allocWeighted float64
+	for _, c := range rep.Cells {
+		rep.Totals.Insts += c.Insts
+		wallNS += c.WallNS
+		allocWeighted += c.AllocsPerKiloInst * float64(c.Insts)
+	}
+	rep.Totals.WallNS = wallNS
+	if wallNS > 0 {
+		rep.Totals.MIPS = float64(rep.Totals.Insts) / (float64(wallNS) / 1e9) / 1e6
+	}
+	if rep.Totals.Insts > 0 {
+		rep.Totals.AllocsPerKiloInst = allocWeighted / float64(rep.Totals.Insts)
+	}
+
+	rep.Baseline = base
+	// Both sides of the comparison are restricted to the same cell set:
+	// those measured in this run AND present in the baseline. Cells without
+	// a baseline entry (e.g. modified specs like "4w:p128") contribute to
+	// Totals but not to the speedup.
+	var baseWallNS, measWallNS float64
+	var baseInsts uint64
+	for _, c := range rep.Cells {
+		mips, ok := base.MIPS[c.Key()]
+		if !ok || mips <= 0 || c.Insts == 0 {
+			continue
+		}
+		baseWallNS += float64(c.Insts) / (mips * 1e6) * 1e9
+		measWallNS += float64(c.WallNS)
+		baseInsts += c.Insts
+	}
+	if baseWallNS > 0 && measWallNS > 0 && baseInsts > 0 {
+		baseMIPS := float64(baseInsts) / (baseWallNS / 1e9) / 1e6
+		measMIPS := float64(baseInsts) / (measWallNS / 1e9) / 1e6
+		speedup := 100 * (measMIPS/baseMIPS - 1)
+		rep.SpeedupPct = &speedup
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// FprintSummary renders the report as a small text table plus the baseline
+// comparison, for terminal use alongside the JSON artifact.
+func (rep *BenchReport) FprintSummary(w io.Writer) {
+	t := &Table{
+		Title:   "Simulator throughput (detailed pipeline)",
+		Columns: []string{"cell", "MIPS", "Mcycles/s", "allocs/kinst", "IPC"},
+	}
+	for _, c := range rep.Cells {
+		t.AddRow(c.Key(),
+			fmt.Sprintf("%.3f", c.MIPS),
+			fmt.Sprintf("%.3f", c.CyclesPerSec/1e6),
+			fmt.Sprintf("%.1f", c.AllocsPerKiloInst),
+			fmt.Sprintf("%.3f", c.IPC))
+	}
+	t.Fprint(w)
+	fmt.Fprintf(w, "total: %.3f MIPS over %d instructions (%.1f allocs/kinst)\n",
+		rep.Totals.MIPS, rep.Totals.Insts, rep.Totals.AllocsPerKiloInst)
+	if rep.SpeedupPct != nil {
+		fmt.Fprintf(w, "vs %s: %+.1f%%\n", rep.Baseline.Label, *rep.SpeedupPct)
+	}
+}

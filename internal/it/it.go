@@ -118,11 +118,14 @@ func (p *Policy) UnmarshalJSON(b []byte) error {
 	return fmt.Errorf("it: unknown policy %d", n)
 }
 
-// Table is the set-associative integration table.
+// Table is the set-associative integration table. Entries are stored flat
+// (set-major, sets×ways): one allocation, and the whole-table scans of
+// InvalidatePhys — run on every physical-register reclaim — walk contiguous
+// memory.
 type Table struct {
 	sets    int
 	ways    int
-	entries [][]Entry
+	entries []Entry
 	policy  Policy
 	tick    uint64
 
@@ -141,11 +144,14 @@ func New(totalEntries, ways int, policy Policy) *Table {
 		sets = 1
 	}
 	t := &Table{sets: sets, ways: ways, policy: policy}
-	t.entries = make([][]Entry, sets)
-	for s := range t.entries {
-		t.entries[s] = make([]Entry, ways)
-	}
+	t.entries = make([]Entry, sets*ways)
 	return t
+}
+
+// setBounds returns the way-slice bounds of a set.
+func (t *Table) setBounds(set int) (lo, hi int) {
+	lo = set * t.ways
+	return lo, lo + t.ways
 }
 
 // PolicyOf returns the table's policy.
@@ -189,9 +195,9 @@ func (t *Table) Lookup(op isa.Op, imm int32, in1, in2 renamer.Mapping) (out rena
 // a hit as CSE (forward) versus speculative memory bypassing (reverse).
 func (t *Table) LookupRev(op isa.Op, imm int32, in1, in2 renamer.Mapping) (out renamer.Mapping, value uint64, reverse, hit bool) {
 	t.Lookups++
-	set := t.hash(op, imm, in1)
-	for w := range t.entries[set] {
-		e := &t.entries[set][w]
+	lo, hi := t.setBounds(t.hash(op, imm, in1))
+	for i := lo; i < hi; i++ {
+		e := &t.entries[i]
 		if e.Valid && e.Op == op && e.Imm == imm && e.In1 == in1 && e.In2 == in2 {
 			t.Hits++
 			t.tick++
@@ -206,29 +212,29 @@ func (t *Table) LookupRev(op isa.Op, imm int32, in1, in2 renamer.Mapping) (out r
 // (same signature) are refreshed in place.
 func (t *Table) Insert(e Entry) {
 	t.Inserts++
-	set := t.hash(e.Op, e.Imm, e.In1)
+	lo, hi := t.setBounds(t.hash(e.Op, e.Imm, e.In1))
 	t.tick++
 	e.Valid = true
 	e.age = t.tick
 	// Refresh an existing identical signature.
-	for w := range t.entries[set] {
-		old := &t.entries[set][w]
+	for i := lo; i < hi; i++ {
+		old := &t.entries[i]
 		if old.Valid && old.Op == e.Op && old.Imm == e.Imm && old.In1 == e.In1 && old.In2 == e.In2 {
 			*old = e
 			return
 		}
 	}
-	victim, oldest := 0, ^uint64(0)
-	for w := range t.entries[set] {
-		if !t.entries[set][w].Valid {
-			victim = w
+	victim, oldest := lo, ^uint64(0)
+	for i := lo; i < hi; i++ {
+		if !t.entries[i].Valid {
+			victim = i
 			break
 		}
-		if t.entries[set][w].age < oldest {
-			victim, oldest = w, t.entries[set][w].age
+		if t.entries[i].age < oldest {
+			victim, oldest = i, t.entries[i].age
 		}
 	}
-	t.entries[set][victim] = e
+	t.entries[victim] = e
 }
 
 // InvalidatePhys removes every tuple that mentions physical register p as
@@ -238,13 +244,11 @@ func (t *Table) Insert(e Entry) {
 // Hardware implementations perform this lazily via the integration test;
 // the eager scan here is behaviourally equivalent and simpler to audit.
 func (t *Table) InvalidatePhys(p int) {
-	for s := range t.entries {
-		for w := range t.entries[s] {
-			e := &t.entries[s][w]
-			if e.Valid && (e.In1.P == p || e.In2.P == p || e.Out.P == p) {
-				e.Valid = false
-				t.Invalids++
-			}
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && (e.In1.P == p || e.In2.P == p || e.Out.P == p) {
+			e.Valid = false
+			t.Invalids++
 		}
 	}
 }
@@ -252,9 +256,9 @@ func (t *Table) InvalidatePhys(p int) {
 // InvalidateSignature removes a specific tuple (used when load re-execution
 // detects a stale bypass so the same entry does not mis-integrate again).
 func (t *Table) InvalidateSignature(op isa.Op, imm int32, in1, in2 renamer.Mapping) {
-	set := t.hash(op, imm, in1)
-	for w := range t.entries[set] {
-		e := &t.entries[set][w]
+	lo, hi := t.setBounds(t.hash(op, imm, in1))
+	for i := lo; i < hi; i++ {
+		e := &t.entries[i]
 		if e.Valid && e.Op == op && e.Imm == imm && e.In1 == in1 && e.In2 == in2 {
 			e.Valid = false
 			t.Invalids++
@@ -264,10 +268,8 @@ func (t *Table) InvalidateSignature(op isa.Op, imm int32, in1, in2 renamer.Mappi
 
 // Reset clears the table and statistics.
 func (t *Table) Reset() {
-	for s := range t.entries {
-		for w := range t.entries[s] {
-			t.entries[s][w] = Entry{}
-		}
+	for i := range t.entries {
+		t.entries[i] = Entry{}
 	}
 	t.tick = 0
 	t.Lookups, t.Hits, t.Inserts, t.Invalids = 0, 0, 0, 0
@@ -276,11 +278,9 @@ func (t *Table) Reset() {
 // Occupancy returns the number of valid entries (tests and stats).
 func (t *Table) Occupancy() int {
 	n := 0
-	for s := range t.entries {
-		for w := range t.entries[s] {
-			if t.entries[s][w].Valid {
-				n++
-			}
+	for i := range t.entries {
+		if t.entries[i].Valid {
+			n++
 		}
 	}
 	return n

@@ -9,6 +9,7 @@ import (
 	"reno/internal/cpa"
 	"reno/internal/emu"
 	"reno/internal/isa"
+	"reno/internal/refcount"
 	"reno/internal/reno"
 	"reno/internal/storesets"
 )
@@ -111,6 +112,7 @@ type Sim struct {
 	cfg Config
 
 	opt *reno.Optimizer
+	rc  *refcount.Table // opt's table, cached for the per-cycle occupancy sample
 	bp  *bpred.Predictor
 	mem *cache.Hierarchy
 	ss  *storesets.Predictor
@@ -123,7 +125,12 @@ type Sim struct {
 	robHead  int
 	robCount int
 
-	fq []entry // fetch queue (front end to rename)
+	// fq is the fetch queue (front end to rename), a fixed-capacity ring:
+	// fqLen entries starting at fqHead. A ring rather than an appended
+	// slice keeps the steady-state cycle loop allocation-free.
+	fq     []entry // len fqCap
+	fqHead int
+	fqLen  int
 
 	iqUsed int
 	lqUsed int
@@ -158,6 +165,15 @@ type Sim struct {
 	res      Result
 
 	iqOccSum, pregSum uint64
+
+	// Reusable hot-path scratch. groupBuf backs renameStage's rename group,
+	// replayBuf backs squashFrom's replay batch (capacity ROBSize+fqCap, the
+	// in-flight maximum, so it never regrows), and ssDead is the store-set
+	// squash predicate created once in New so squashes allocate no closure.
+	groupBuf     []reno.GroupInst
+	replayBuf    []emu.Dyn
+	squashMinSeq uint64
+	ssDead       func(tag uint32) bool
 }
 
 // New builds a simulator for the given configuration over the dynamic
@@ -171,9 +187,14 @@ func New(cfg Config, next func() (emu.Dyn, bool)) *Sim {
 		ss:  storesets.New(12, 64),
 		src: &stream{next: next},
 	}
+	s.rc = s.opt.RefCounts()
 	s.rob = make([]entry, cfg.ROBSize)
+	s.fq = make([]entry, fqCap)
 	s.wakeAt = make([]uint64, cfg.Reno.PhysRegs)
 	s.writerSeq = make([]uint64, cfg.Reno.PhysRegs)
+	s.groupBuf = make([]reno.GroupInst, 0, cfg.RenameWidth)
+	s.replayBuf = make([]emu.Dyn, 0, cfg.ROBSize+fqCap)
+	s.ssDead = func(tag uint32) bool { return uint64(tag) >= s.squashMinSeq }
 	s.blockingSeq = never
 	s.res.Config = cfg
 	return s
@@ -287,7 +308,7 @@ func (s *Sim) RunContext(ctx context.Context, opts RunOptions) (*Result, error) 
 		nextObserve = opts.ObserveEvery
 	}
 	for {
-		if s.src.exhausted() && s.robCount == 0 && len(s.fq) == 0 {
+		if s.src.exhausted() && s.robCount == 0 && s.fqLen == 0 {
 			// A trace feed bounded by MaxInsts drains here rather than at
 			// the commit check below; label the stop all the same.
 			if s.cfg.MaxInsts > 0 && s.committed >= s.cfg.MaxInsts {
@@ -316,7 +337,7 @@ func (s *Sim) RunContext(ctx context.Context, opts RunOptions) (*Result, error) 
 		s.renameStage()
 		s.fetchStage()
 		s.iqOccSum += uint64(s.iqUsed)
-		s.pregSum += uint64(s.opt.RefCounts().InUse())
+		s.pregSum += uint64(s.rc.InUse())
 		s.cycle++
 		if nextObserve > 0 && s.committed >= nextObserve {
 			prev = s.observe(opts.Observer, prev)
@@ -324,7 +345,10 @@ func (s *Sim) RunContext(ctx context.Context, opts RunOptions) (*Result, error) 
 				nextObserve += opts.ObserveEvery
 			}
 		}
-		if s.cycle > (s.committed+1_000_000)*100 {
+		// Hang detection is amortized to one multiply per ctxCheckInterval
+		// cycles: a genuine livelock still trips within a rounding error of
+		// where it used to, and valid runs never pay for the check.
+		if s.cycle%ctxCheckInterval == 0 && s.cycle > (s.committed+1_000_000)*100 {
 			return nil, fmt.Errorf("pipeline %s: no forward progress at cycle %d (%d committed)",
 				s.cfg.Name, s.cycle, s.committed)
 		}
@@ -400,30 +424,50 @@ func (s *Sim) finish() *Result {
 }
 
 // robPos returns the entry at offset off from the ROB head (0 = oldest).
-func (s *Sim) robPos(off int) *entry { return &s.rob[(s.robHead+off)%len(s.rob)] }
+// off is always < len(s.rob), so the wrap needs a compare, not a division —
+// issueStage walks the whole window every cycle, making this the hottest
+// address computation in the simulator.
+func (s *Sim) robPos(off int) *entry {
+	idx := s.robHead + off
+	if idx >= len(s.rob) {
+		idx -= len(s.rob)
+	}
+	return &s.rob[idx]
+}
+
+// fqAt returns the fetch-queue entry at offset off from the queue head.
+func (s *Sim) fqAt(off int) *entry {
+	idx := s.fqHead + off
+	if idx >= fqCap {
+		idx -= fqCap
+	}
+	return &s.fq[idx]
+}
 
 // ---------------------------------------------------------------- commit
 
-func (s *Sim) commitStage() {
-	// bookPort reserves a slot on a retirement-side cache port through the
-	// decoupled retirement queue; it fails only when the backlog exceeds
-	// the queue depth. Stores use the store-retirement port; integrated
-	// load re-executions use the load-port bandwidth their elimination
-	// vacated (a capacity-neutral reading of the paper's re-execution
-	// scheme — see DESIGN.md §5).
-	bookPort := func(freeAt *uint64, ports int) bool {
-		limit := s.cycle + uint64(s.cfg.RetireQueue)*uint64(ports)
-		if *freeAt > limit {
-			s.res.StorePortConflicts++
-			return false
-		}
-		slot := *freeAt
-		if slot < s.cycle {
-			slot = s.cycle
-		}
-		*freeAt = slot + uint64(1) // one port op per port-cycle
-		return true
+// bookPort reserves a slot on a retirement-side cache port through the
+// decoupled retirement queue; it fails only when the backlog exceeds the
+// queue depth. Stores use the store-retirement port; integrated load
+// re-executions use the load-port bandwidth their elimination vacated (a
+// capacity-neutral reading of the paper's re-execution scheme — see
+// DESIGN.md §5). A method rather than a per-commitStage closure: the commit
+// stage runs every cycle and must not allocate.
+func (s *Sim) bookPort(freeAt *uint64, ports int) bool {
+	limit := s.cycle + uint64(s.cfg.RetireQueue)*uint64(ports)
+	if *freeAt > limit {
+		s.res.StorePortConflicts++
+		return false
 	}
+	slot := *freeAt
+	if slot < s.cycle {
+		slot = s.cycle
+	}
+	*freeAt = slot + uint64(1) // one port op per port-cycle
+	return true
+}
+
+func (s *Sim) commitStage() {
 	for k := 0; k < s.cfg.CommitWidth && s.robCount > 0; k++ {
 		e := s.robPos(0)
 		if e.state != stIssued || e.compC > s.cycle {
@@ -434,7 +478,7 @@ func (s *Sim) commitStage() {
 			if w := s.wakeAt[e.dataP]; w == never || w > s.cycle {
 				return
 			}
-			if !bookPort(&s.portFreeAt, s.cfg.StorePorts) {
+			if !s.bookPort(&s.portFreeAt, s.cfg.StorePorts) {
 				return
 			}
 			s.mem.AccessD(e.dyn.EA*8, s.cycle, true)
@@ -444,7 +488,7 @@ func (s *Sim) commitStage() {
 			// Integrated load: re-execute on the store retirement port
 			// (Section 2.2: "dependence-free" re-execution, decoupled
 			// through the retirement queue).
-			if !bookPort(&s.reexecFreeAt, s.cfg.LoadPorts) {
+			if !s.bookPort(&s.reexecFreeAt, s.cfg.LoadPorts) {
 				return
 			}
 			s.mem.AccessD(e.dyn.EA*8, s.cycle, false)
@@ -482,7 +526,10 @@ func (s *Sim) commitStage() {
 		if e.isStore {
 			s.sqUsed--
 		}
-		s.robHead = (s.robHead + 1) % len(s.rob)
+		s.robHead++
+		if s.robHead == len(s.rob) {
+			s.robHead = 0
+		}
 		s.robCount--
 		s.committed++
 	}
@@ -773,16 +820,19 @@ func (s *Sim) squashFrom(from int, causeSeq uint64) {
 	}
 	s.res.Replays++
 	minSeq := s.robPos(from).seq
-	replay := make([]emu.Dyn, 0, n+len(s.fq))
+	// replayBuf has capacity for the full in-flight window, so rebuilding
+	// the replay batch allocates nothing; pushFront copies it into the
+	// stream's own stack before squashFrom returns.
+	replay := s.replayBuf[:0]
 	for i := from; i < s.robCount; i++ {
 		replay = append(replay, s.robPos(i).dyn)
 	}
 	// The fetch queue holds even younger un-renamed instructions; they
 	// replay too (they were fetched down a path now being refetched).
-	for i := range s.fq {
-		replay = append(replay, s.fq[i].dyn)
+	for i := 0; i < s.fqLen; i++ {
+		replay = append(replay, s.fqAt(i).dyn)
 	}
-	s.fq = s.fq[:0]
+	s.fqHead, s.fqLen = 0, 0
 
 	for i := s.robCount - 1; i >= from; i-- {
 		e := s.robPos(i)
@@ -799,7 +849,8 @@ func (s *Sim) squashFrom(from int, causeSeq uint64) {
 	}
 	s.robCount = from
 
-	s.ss.Squash(func(tag uint32) bool { return uint64(tag) >= minSeq })
+	s.squashMinSeq = minSeq
+	s.ss.Squash(s.ssDead)
 	s.src.pushFront(replay)
 	s.redirectUntil = s.cycle + uint64(s.cfg.RedirectPenalty)
 	s.pendingCauseKind, s.pendingCauseSeq = cpa.BoundReplay, causeSeq
@@ -810,27 +861,39 @@ func (s *Sim) squashFrom(from int, causeSeq uint64) {
 
 // ---------------------------------------------------------------- rename
 
+// Window-block predicates for blockOn, package-level so renameStage creates
+// no closures on its per-cycle path.
+var (
+	blockAny     = func(*entry) bool { return true } // ROB head
+	blockWaiting = func(e *entry) bool { return e.state == stWaiting }
+	blockLoad    = func(e *entry) bool { return e.isLoad }
+	blockStore   = func(e *entry) bool { return e.isStore }
+)
+
+// blockOn records the oldest in-flight instruction matching the predicate as
+// the reliever of the current window stall (critical-path provenance).
+func (s *Sim) blockOn(oldest func(*entry) bool) {
+	s.windowBlocked = true
+	s.windowBlockSeq = s.robPos(0).seq
+	for i := 0; i < s.robCount; i++ {
+		if e := s.robPos(i); oldest(e) {
+			s.windowBlockSeq = e.seq
+			return
+		}
+	}
+}
+
 func (s *Sim) renameStage() {
 	width := s.cfg.RenameWidth
-	group := make([]reno.GroupInst, 0, width)
+	group := s.groupBuf[:0]
 	iqLeft := s.cfg.IQSize - s.iqUsed
 	lqLeft := s.cfg.LQSize - s.lqUsed
 	sqLeft := s.cfg.SQSize - s.sqUsed
 	robLeft := len(s.rob) - s.robCount
 
 	s.windowBlocked = false
-	blockOn := func(oldest func(*entry) bool) {
-		s.windowBlocked = true
-		s.windowBlockSeq = s.robPos(0).seq
-		for i := 0; i < s.robCount; i++ {
-			if e := s.robPos(i); oldest(e) {
-				s.windowBlockSeq = e.seq
-				return
-			}
-		}
-	}
-	for len(group) < width && len(group) < len(s.fq) {
-		e := &s.fq[len(group)]
+	for len(group) < width && len(group) < s.fqLen {
+		e := s.fqAt(len(group))
 		if e.fetchC+uint64(s.cfg.FrontLat) > s.cycle {
 			break
 		}
@@ -838,25 +901,25 @@ func (s *Sim) renameStage() {
 		// eliminated instruction will simply not consume its slot).
 		if robLeft == 0 {
 			if s.robCount > 0 {
-				blockOn(func(*entry) bool { return true }) // ROB head
+				s.blockOn(blockAny)
 			}
 			break
 		}
 		if iqLeft == 0 {
-			blockOn(func(e *entry) bool { return e.state == stWaiting })
+			s.blockOn(blockWaiting)
 			break
 		}
 		cls := isa.ClassOf(e.dyn.Inst)
 		if cls == isa.ClassLoad {
 			if lqLeft == 0 {
-				blockOn(func(e *entry) bool { return e.isLoad })
+				s.blockOn(blockLoad)
 				break
 			}
 			lqLeft--
 		}
 		if cls == isa.ClassStore {
 			if sqLeft == 0 {
-				blockOn(func(e *entry) bool { return e.isStore })
+				s.blockOn(blockStore)
 				break
 			}
 			sqLeft--
@@ -873,7 +936,7 @@ func (s *Sim) renameStage() {
 		return
 	}
 
-	recs, n := s.opt.RenameGroup(group)
+	recs, n := s.opt.RenameGroupScratch(group)
 	if n < len(group) {
 		s.res.RenameStallPregs++
 		if !s.windowBlocked && s.robCount > 0 {
@@ -884,7 +947,7 @@ func (s *Sim) renameStage() {
 		}
 	}
 	for i := 0; i < n; i++ {
-		e := &s.fq[i]
+		e := s.fqAt(i)
 		e.ren = recs[i]
 		e.renameC = s.cycle
 		cls := isa.ClassOf(e.dyn.Inst)
@@ -925,10 +988,11 @@ func (s *Sim) renameStage() {
 		*s.robPos(s.robCount) = *e
 		s.robCount++
 	}
-	s.fq = s.fq[n:]
-	if len(s.fq) == 0 {
-		s.fq = nil
+	s.fqHead += n
+	if s.fqHead >= fqCap {
+		s.fqHead -= fqCap
 	}
+	s.fqLen -= n
 }
 
 // ---------------------------------------------------------------- fetch
@@ -949,7 +1013,7 @@ func (s *Sim) fetchStage() {
 	lastBlock := never
 	groupReady := s.cycle
 	for w := 0; w < s.cfg.FetchWidth; w++ {
-		if len(s.fq) >= fqCap {
+		if s.fqLen >= fqCap {
 			s.fqWasFull = true
 			break
 		}
@@ -999,7 +1063,8 @@ func (s *Sim) fetchStage() {
 				s.res.Mispredicts++
 			}
 		}
-		s.fq = append(s.fq, e)
+		*s.fqAt(s.fqLen) = e
+		s.fqLen++
 		if e.mispredicted {
 			s.blockingSeq = e.seq
 			break

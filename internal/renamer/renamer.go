@@ -133,16 +133,30 @@ func (t *MapTable) RestoreCheckpoint(cp [isa.NumLogicalRegs]Mapping) {
 	t.m = cp
 }
 
-// LiveRefs returns, for invariant checking, how many map entries point at
-// each physical register.
-func (t *MapTable) LiveRefs() map[int]int {
-	refs := map[int]int{}
+// LiveRefsInto accumulates, for invariant checking, how many map entries
+// point at each physical register into counts (indexed by physical register;
+// the caller zeroes it beforehand). It allocates nothing, so stats and
+// invariant paths can run it at cycle or interval granularity.
+func (t *MapTable) LiveRefsInto(counts []int) {
 	for r := range t.m {
 		if isa.Reg(r) == isa.RZero {
-			refs[refcount.ZeroReg]++ // the architectural read path
+			counts[refcount.ZeroReg]++ // the architectural read path
 			continue
 		}
-		refs[t.m[r].P]++
+		counts[t.m[r].P]++
+	}
+}
+
+// LiveRefs returns the same tallies as LiveRefsInto in map form, omitting
+// unreferenced registers (debugging convenience; allocates per call).
+func (t *MapTable) LiveRefs() map[int]int {
+	counts := make([]int, t.rc.Size())
+	t.LiveRefsInto(counts)
+	refs := make(map[int]int, isa.NumLogicalRegs)
+	for p, n := range counts {
+		if n != 0 {
+			refs[p] = n
+		}
 	}
 	return refs
 }

@@ -228,6 +228,12 @@ type Optimizer struct {
 	it  *it.Table
 
 	Stats Stats
+
+	// scratch backs RenameGroupScratch so the per-cycle rename path
+	// allocates nothing; invScratch backs CheckInvariant's per-register
+	// tallies for the same reason on instrumented runs.
+	scratch    []Renamed
+	invScratch []int
 }
 
 // New builds an optimizer with fresh rename state.
@@ -276,7 +282,22 @@ var zeroMap = renamer.Mapping{P: refcount.ZeroReg}
 // be short of len(g) when the physical register file is exhausted — the
 // caller re-presents the remainder next cycle.
 func (o *Optimizer) RenameGroup(g []GroupInst) (out []Renamed, n int) {
-	out = make([]Renamed, 0, len(g))
+	return o.renameGroupInto(make([]Renamed, 0, len(g)), g)
+}
+
+// RenameGroupScratch is RenameGroup writing into a buffer the optimizer
+// owns and reuses: the returned records are valid only until the next
+// RenameGroupScratch call. The pipeline's rename stage copies each record
+// into its ROB entry immediately, so the steady-state rename path allocates
+// nothing.
+func (o *Optimizer) RenameGroupScratch(g []GroupInst) (out []Renamed, n int) {
+	out, n = o.renameGroupInto(o.scratch[:0], g)
+	o.scratch = out[:0] // retain the (possibly grown) backing array
+	return out, n
+}
+
+func (o *Optimizer) renameGroupInto(out []Renamed, g []GroupInst) ([]Renamed, int) {
+	n := 0
 	var elimDest uint32 // bitmask of logical regs written by group-eliminated insts
 	for _, gi := range g {
 		r, ok := o.renameOne(gi, elimDest)
@@ -594,18 +615,24 @@ func (o *Optimizer) ReexecMismatch(r *Renamed) {
 
 // CheckInvariant validates reference-count consistency against the map
 // table plus a caller-supplied count of in-flight holds per register.
-// Tests call it after randomized rename/commit/squash sequences.
+// Tests call it after randomized rename/commit/squash sequences; the
+// per-register tallies live in a reusable scratch slice, so instrumented
+// runs can call it at interval granularity without allocating.
 func (o *Optimizer) CheckInvariant(inflightHolds map[int]int) error {
 	if err := o.rc.CheckInvariant(); err != nil {
 		return err
 	}
-	want := map[int]int{}
-	for r := isa.Reg(0); r < isa.NumLogicalRegs; r++ {
-		if r == isa.RZero {
-			continue
-		}
-		want[o.mt.Lookup(r).P]++
+	if o.invScratch == nil {
+		o.invScratch = make([]int, o.rc.Size())
 	}
+	want := o.invScratch
+	for i := range want {
+		want[i] = 0
+	}
+	o.mt.LiveRefsInto(want)
+	// LiveRefsInto counts the zero register's architectural read path at
+	// ZeroReg; the comparison below starts at p1, so that entry (and any
+	// other sharing of the pinned zero home) is ignored exactly as before.
 	for p, n := range inflightHolds {
 		want[p] += n
 	}

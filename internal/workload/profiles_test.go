@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+
+	"reno/internal/emu"
+)
+
+// TestByNameUnknown pins the miss contract: unknown names report ok=false
+// with a zero profile, they do not panic or fuzzy-match.
+func TestByNameUnknown(t *testing.T) {
+	for _, name := range []string{"", "nope", "GZIP", "gzip ", "mpeg2.decode"} {
+		p, ok := ByName(name)
+		if ok {
+			t.Errorf("ByName(%q) = %q, true; want miss", name, p.Name)
+		}
+		if p.Name != "" || p.Kernels != nil {
+			t.Errorf("ByName(%q) miss returned non-zero profile %+v", name, p)
+		}
+	}
+}
+
+// TestScaleEdges covers the degenerate scale factors: zero and negative
+// factors clamp to one outer iteration (never zero or negative), tiny
+// factors that would round every kernel mix to nothing still leave the
+// kernel list intact, and the clamped profile still builds and runs to
+// halt.
+func TestScaleEdges(t *testing.T) {
+	base, ok := ByName("gzip")
+	if !ok {
+		t.Fatal("gzip profile missing")
+	}
+	for _, f := range []float64{0, -1, -0.5, 1e-9, 0.001} {
+		p := Scale(base, f)
+		if p.OuterIters != 1 {
+			t.Errorf("Scale(gzip, %g).OuterIters = %d; want clamp to 1", f, p.OuterIters)
+		}
+		if len(p.Kernels) != len(base.Kernels) {
+			t.Errorf("Scale(gzip, %g) changed the kernel mix: %d kernels, want %d",
+				f, len(p.Kernels), len(base.Kernels))
+		}
+		w, err := Build(p)
+		if err != nil {
+			t.Fatalf("Scale(gzip, %g): build: %v", f, err)
+		}
+		m := emu.New(w.Code)
+		if err := m.Run(20_000_000); err != nil {
+			t.Fatalf("Scale(gzip, %g): run: %v", f, err)
+		}
+		if m.ICount == 0 {
+			t.Errorf("Scale(gzip, %g): ran zero instructions", f)
+		}
+	}
+	// Scaling up must not clamp.
+	if p := Scale(base, 2.0); p.OuterIters != 2*base.OuterIters {
+		t.Errorf("Scale(gzip, 2).OuterIters = %d; want %d", p.OuterIters, 2*base.OuterIters)
+	}
+	// Scale must not mutate its argument.
+	if again, _ := ByName("gzip"); again.OuterIters != base.OuterIters {
+		t.Error("Scale mutated the registry profile")
+	}
+}
+
+// TestAllProfilesNameUniqueness: profile names are sweep/result keys
+// (sweep.Result.Bench, harness Set keys), so a duplicate would silently
+// merge two benchmarks' results.
+func TestAllProfilesNameUniqueness(t *testing.T) {
+	all := AllProfiles()
+	if len(all) != len(SPECint())+len(MediaBench()) {
+		t.Fatalf("AllProfiles lost entries: %d != %d+%d", len(all), len(SPECint()), len(MediaBench()))
+	}
+	seen := map[string]string{}
+	for _, p := range all {
+		if p.Name == "" {
+			t.Error("profile with empty name")
+			continue
+		}
+		if prev, dup := seen[p.Name]; dup {
+			t.Errorf("duplicate profile name %q (suites %s and %s)", p.Name, prev, p.Suite)
+		}
+		seen[p.Name] = p.Suite
+		// Every listed profile must be reachable through ByName.
+		got, ok := ByName(p.Name)
+		if !ok || got.Seed != p.Seed || got.Suite != p.Suite {
+			t.Errorf("ByName(%q) does not round-trip its profile", p.Name)
+		}
+	}
+}

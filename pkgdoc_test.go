@@ -1,0 +1,49 @@
+package repro_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllInternalPackagesHaveDocComments pins the documentation contract:
+// every internal package carries a package comment, so `go doc
+// ./internal/<pkg>` is useful for all of them. A new package without one
+// fails here rather than silently shipping undocumented.
+func TestAllInternalPackagesHaveDocComments(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 16 {
+		t.Fatalf("expected at least 16 internal packages, found %d", len(dirs))
+	}
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: %v", dir, err)
+			continue
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.Contains(f.Doc.Text(), "Package "+name) {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package comment; add one so `go doc` output is useful", name, dir)
+			}
+		}
+	}
+}

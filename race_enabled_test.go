@@ -1,0 +1,7 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions are skipped under it because instrumentation perturbs counts.
+const raceEnabled = true
