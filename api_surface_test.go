@@ -1,0 +1,136 @@
+package repro_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// publicPackages are the module's public API surface: the packages external
+// programs may import. Each has a pinned export dump under testdata/api/.
+var publicPackages = []string{"sim", "metrics"}
+
+// TestPublicAPISurface is the API-surface golden gate: the exported
+// declarations of every public package are dumped in a canonical textual
+// form and compared against the pinned golden file. An accidental breaking
+// change — a removed function, a retyped field, a renamed constant — fails
+// here before it ships; a deliberate change regenerates the pin with
+//
+//	UPDATE_API=1 go test -run TestPublicAPISurface .
+//
+// and shows up in review as a diff of the API itself.
+func TestPublicAPISurface(t *testing.T) {
+	for _, pkg := range publicPackages {
+		t.Run(pkg, func(t *testing.T) {
+			got, err := dumpAPI(pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "api", pkg+".golden")
+			if os.Getenv("UPDATE_API") != "" {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with UPDATE_API=1 to create the pin)", err)
+			}
+			if got != string(want) {
+				t.Errorf("public API of package %s changed.\n"+
+					"If intentional, regenerate the pin with UPDATE_API=1 and call the change out in review.\n"+
+					"--- pinned\n+++ current\n%s", pkg, unifiedDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// dumpAPI renders a package's exported surface: every exported top-level
+// declaration (functions and methods without bodies, types with unexported
+// fields elided, consts and vars with values), in file order over sorted
+// file names, gofmt-formatted.
+func dumpAPI(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var out bytes.Buffer
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pkg := pkgs[name]
+		ast.PackageExports(pkg)
+		out.WriteString("package " + name + "\n")
+		files := make([]string, 0, len(pkg.Files))
+		for fname := range pkg.Files {
+			files = append(files, fname)
+		}
+		sort.Strings(files)
+		for _, fname := range files {
+			for _, decl := range pkg.Files[fname].Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					d.Body = nil // signatures only
+				case *ast.GenDecl:
+					if d.Tok == token.IMPORT {
+						continue
+					}
+				}
+				out.WriteString("\n")
+				if err := format.Node(&out, fset, decl); err != nil {
+					return "", err
+				}
+				out.WriteString("\n")
+			}
+		}
+	}
+	return out.String(), nil
+}
+
+// unifiedDiff renders a minimal line diff (no context collapsing; API dumps
+// are small).
+func unifiedDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	max := len(wl)
+	if len(gl) > max {
+		max = len(gl)
+	}
+	for i := 0; i < max; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		if i < len(wl) {
+			b.WriteString("-" + w + "\n")
+		}
+		if i < len(gl) {
+			b.WriteString("+" + g + "\n")
+		}
+	}
+	return b.String()
+}

@@ -18,10 +18,10 @@
 //
 // A second mode measures the simulator itself rather than the simulated
 // core: -bench-json times the detailed pipeline on every (machine preset,
-// benchmark) pair and writes BENCH_pipeline.json — simulated MIPS, cycles
-// per second, and allocations per kilo-instruction, with the recorded
-// pre-optimization baseline embedded for comparison (see
-// docs/benchmarking.md):
+// benchmark) pair and writes BENCH_pipeline.json as a reno.metrics/v1
+// envelope — simulated MIPS, cycles per second, and allocations per
+// kilo-instruction, with the recorded pre-optimization baseline comparison
+// in the summary set (see docs/benchmarking.md and docs/metrics.md):
 //
 //	renobench -bench-json BENCH_pipeline.json
 //	renobench -bench-json out.json -bench-machines 4w -bench-benches gzip -max 30000

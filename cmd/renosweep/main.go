@@ -1,5 +1,7 @@
 // Command renosweep runs a declarative experiment grid on the bounded sweep
-// worker pool and emits machine-readable results (JSON, optionally CSV).
+// worker pool and emits results as a reno.metrics/v1 envelope (JSON,
+// optionally with a CSV convenience view). It is a thin flag parser over
+// the public reno/sim facade (sim.ParseGrid / sim.RunGrid).
 //
 // The grid is the cross product benches × machines × renos × seeds, given
 // either by flags or by a JSON spec file (see docs/sweep.md for the schema;
@@ -33,15 +35,22 @@ import (
 	"syscall"
 	"time"
 
-	"reno/internal/machine"
-	"reno/internal/sweep"
+	"reno/sim"
 )
+
+func renoNames() []string {
+	var names []string
+	for _, c := range sim.Configs() {
+		names = append(names, c.Name)
+	}
+	return names
+}
 
 func main() {
 	var (
 		benches  = flag.String("benches", "all", "comma-separated benchmark names or suite aliases (all, SPECint, MediaBench, micro.<kernel>)")
 		machines = flag.String("machines", "4w", "comma-separated machine specs (4w, 6w, with :p<N> :i<A>t<T> :s<N> modifiers)")
-		renos    = flag.String("renos", "BASE,RENO", "comma-separated RENO configs ("+strings.Join(sweep.RenoNames(), ", ")+")")
+		renos    = flag.String("renos", "BASE,RENO", "comma-separated RENO configs ("+strings.Join(renoNames(), ", ")+")")
 		seeds    = flag.String("seeds", "0", "comma-separated workload seed offsets")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		maxInsts = flag.Uint64("max", 300_000, "timed instructions per run (0 = to completion)")
@@ -71,11 +80,7 @@ func main() {
 		return
 	}
 
-	grid, err := buildGrid(*gridPath, *benches, *machines, *renos, *seeds, *scale, *maxInsts, *workers, setFlags)
-	if err != nil {
-		fatal(err)
-	}
-	jobs, err := grid.Expand()
+	grid, err := buildGrid(*gridPath, *benches, *machines, *renos, *seeds, *scale, *maxInsts, setFlags)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,47 +88,53 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := grid.Options()
-	opts.Timeout = *timeout
+	opts := sim.GridOptions{Workers: *workers, Timeout: *timeout, Stable: *stable}
 	if *progress {
-		opts.Progress = func(done, total int, r *sweep.Result) {
-			if r.Err != "" {
-				fmt.Fprintf(os.Stderr, "[%d/%d] %-28s ERROR %s\n", done, total, r.Key(), r.Err)
+		opts.Progress = func(p sim.Progress) {
+			key := p.Bench + "/" + p.Tag
+			if p.Err != "" {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-28s ERROR %s\n", p.Done, p.Total, key, p.Err)
 				return
 			}
 			fmt.Fprintf(os.Stderr, "[%d/%d] %-28s IPC %.3f elim %.1f%% hash %s\n",
-				done, total, r.Key(), r.IPC, r.ElimTotal, r.Hash)
+				p.Done, p.Total, key, p.IPC, p.ElimTotal, p.RunHash)
 		}
 	}
 
 	t0 := time.Now()
-	results := sweep.RunContext(ctx, jobs, opts)
+	gr, err := sim.RunGrid(ctx, grid, opts)
+	if err != nil {
+		fatal(err)
+	}
 	elapsed := time.Since(t0)
 
-	rep := sweep.NewReport(grid, results)
-	emit := sweep.EmitOptions{Deterministic: *stable}
-	if err := writeTo(*jsonOut, func(w io.Writer) error { return rep.WriteJSON(w, emit) }); err != nil {
+	rep, err := gr.Report()
+	if err != nil {
+		fatal(err)
+	}
+	rep.Tool = "renosweep"
+	if err := writeTo(*jsonOut, rep.Encode); err != nil {
 		fatal(err)
 	}
 	if *csvOut != "" {
-		if err := writeTo(*csvOut, func(w io.Writer) error { return rep.WriteCSV(w, emit) }); err != nil {
+		if err := writeTo(*csvOut, gr.WriteCSV); err != nil {
 			fatal(err)
 		}
 	}
 
+	s := gr.Summary()
 	if !*quiet {
-		s := rep.Summary
 		fmt.Fprintf(os.Stderr, "sweep: %d runs (%d failed), %d insts in %s (%.0f insts/s), mean IPC %.3f, %d audit warnings\n",
 			s.Runs, s.Failed, s.Insts, elapsed.Truncate(time.Millisecond),
 			float64(s.Insts)/elapsed.Seconds(), s.MeanIPC, s.Warnings)
-		for _, w := range sweep.Audit(results) {
+		for _, w := range gr.Audit() {
 			fmt.Fprintf(os.Stderr, "WARNING: %s\n", w)
 		}
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "sweep: interrupted — partial results emitted")
 		}
 	}
-	if rep.Summary.Failed > 0 || rep.Summary.Warnings > 0 {
+	if s.Failed > 0 || s.Warnings > 0 {
 		os.Exit(1)
 	}
 }
@@ -132,44 +143,32 @@ func main() {
 // one-line descriptions.
 func listRegistry(w io.Writer) {
 	fmt.Fprintln(w, "Machine base specs (extend with :p<N> :i<A>t<T> :s<N>, or inline JSON objects in v2 grids):")
-	for _, d := range machine.Machines() {
+	for _, d := range sim.Machines() {
 		fmt.Fprintf(w, "  %-12s %s\n", d.Name, d.Desc)
 	}
 	fmt.Fprintln(w, "\nRENO configs:")
-	for _, d := range machine.Renos() {
+	for _, d := range sim.Configs() {
 		fmt.Fprintf(w, "  %-12s %s\n", d.Name, d.Desc)
 	}
 }
 
-// validateSpec parses, validates, and expands a grid spec without running
-// it, reporting what the sweep would do.
+// validateSpec parses, validates, and plans a grid spec without running it,
+// reporting what the sweep would do.
 func validateSpec(w io.Writer, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	g, err := sweep.ParseGridJSON(data)
+	g, err := sim.ParseGrid(data)
 	if err != nil {
 		return err
 	}
-	jobs, err := g.Expand()
+	plan, err := g.Plan()
 	if err != nil {
 		return err
-	}
-	version := g.Version
-	if version == 0 {
-		version = 1
-	}
-	tags := map[string]bool{}
-	var order []string
-	for _, j := range jobs {
-		if t := j.Tag(); !tags[t] {
-			tags[t] = true
-			order = append(order, t)
-		}
 	}
 	fmt.Fprintf(w, "%s: ok (schema v%d): %d jobs, %d configurations: %s\n",
-		path, version, len(jobs), len(order), strings.Join(order, ", "))
+		path, plan.Version, plan.Jobs, len(plan.Configurations), strings.Join(plan.Configurations, ", "))
 	return nil
 }
 
@@ -179,39 +178,35 @@ func validateSpec(w io.Writer, path string) error {
 // explicit "max_insts": 0 (run to completion), which is why presence on the
 // command line is tracked via setFlags rather than by comparing against
 // flag defaults.
-func buildGrid(path, benches, machines, renos, seeds string, scale float64, maxInsts uint64, workers int, setFlags map[string]bool) (sweep.Grid, error) {
+func buildGrid(path, benches, machines, renos, seeds string, scale float64, maxInsts uint64, setFlags map[string]bool) (*sim.Grid, error) {
 	if path != "" {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return sweep.Grid{}, err
+			return nil, err
 		}
-		g, err := sweep.ParseGridJSON(data)
+		g, err := sim.ParseGrid(data)
 		if err != nil {
-			return sweep.Grid{}, err
+			return nil, err
 		}
-		if setFlags["scale"] || g.Scale == 0 {
+		if setFlags["scale"] {
 			g.Scale = scale
 		}
 		if setFlags["max"] {
 			g.MaxInsts = maxInsts
 		}
-		if setFlags["workers"] || g.Workers == 0 {
-			g.Workers = workers
-		}
 		return g, nil
 	}
 	seedVals, err := parseSeeds(seeds)
 	if err != nil {
-		return sweep.Grid{}, err
+		return nil, err
 	}
-	return sweep.Grid{
-		Benches:        splitList(benches),
-		MachineConfigs: sweep.Specs(splitList(machines)...),
-		RenoConfigs:    sweep.Specs(splitList(renos)...),
-		Seeds:          seedVals,
-		Scale:          scale,
-		MaxInsts:       maxInsts,
-		Workers:        workers,
+	return &sim.Grid{
+		Benches:  splitList(benches),
+		Machines: splitList(machines),
+		Configs:  splitList(renos),
+		Seeds:    seedVals,
+		Scale:    scale,
+		MaxInsts: maxInsts,
 	}, nil
 }
 

@@ -3,9 +3,11 @@
 // addresses and induction variables, and the extended map table folds them
 // into consumers' 3-input adders.
 //
-// It also demonstrates the two boundary conditions of folding: displacement
-// overflow (conservatively canceled) and the one-dependent-fold-per-cycle
-// rename-group rule.
+// It also demonstrates the two boundary conditions of folding (displacement
+// overflow and the one-dependent-fold-per-cycle rename-group rule) and an
+// inline JSON config spec — the Section 3.3 ablation charges +1 cycle on
+// every fusion without any code-level configuration plumbing. Built
+// entirely on the public reno/sim + reno/metrics API.
 //
 //	go run ./examples/addrcalc
 package main
@@ -14,54 +16,48 @@ import (
 	"fmt"
 	"log"
 
-	"reno/internal/pipeline"
-	"reno/internal/reno"
-	"reno/internal/workload"
+	"reno/metrics"
+	"reno/sim"
 )
+
+func run(spec sim.Spec) *sim.Result {
+	p, err := sim.Load(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(sim.Options{MaxInsts: 200_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
 
 func main() {
 	// mpg2.de is the paper's most addi-dense program (23% of dynamic
 	// instructions); gsm.de is the peak-speedup MediaBench program.
 	for _, name := range []string{"mpg2.de", "gsm.de", "epic"} {
-		prof, ok := workload.ByName(name)
-		if !ok {
-			log.Fatalf("no profile %s", name)
-		}
-		w := workload.MustBuild(prof)
-		warm, err := w.WarmupCount()
-		if err != nil {
-			log.Fatal(err)
-		}
+		base := run(sim.Spec{Bench: name, Config: "BASE"})
+		cf := run(sim.Spec{Bench: name, Config: "ME+CF"})
 
-		base, _, err := pipeline.RunProgram(pipeline.FourWide(reno.Baseline(160)), w.Code, warm, 200_000)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cf, _, err := pipeline.RunProgram(pipeline.FourWide(reno.MECF(160)), w.Code, warm, 200_000)
-		if err != nil {
-			log.Fatal(err)
-		}
-
+		m := cf.Metrics()
+		value := func(n string) float64 { v, _ := m.Value(n); return v }
+		count := func(n string) uint64 { c, _ := m.Count(n); return c }
 		sp := 100 * (float64(base.Cycles)/float64(cf.Cycles) - 1)
 		fmt.Printf("%-8s  folded %5.1f%% of instructions -> %+5.1f%% speedup\n",
-			name, cf.ElimCF+cf.ElimME, sp)
+			name, value(metrics.RenoElimCF)+value(metrics.RenoElimME), sp)
 		fmt.Printf("          fused ops executed: %d (of them penalized: %d)\n",
-			cf.Reno.FusedOps, cf.Reno.FusedPenalized)
+			count(metrics.RenoFusedOps), count(metrics.RenoFusedPenalized))
 		fmt.Printf("          fold cancels: overflow %d, same-cycle dependence %d\n",
-			cf.Reno.FoldCancelOverflow, cf.Reno.FoldCancelGroupDep)
+			count(metrics.RenoFoldCancelOvf), count(metrics.RenoFoldCancelGroup))
 	}
 
 	// The Section 3.3 ablation: charge +1 cycle on every fused operation.
-	prof, _ := workload.ByName("gsm.de")
-	w := workload.MustBuild(prof)
-	warm, _ := w.WarmupCount()
-	base, _, _ := pipeline.RunProgram(pipeline.FourWide(reno.Baseline(160)), w.Code, warm, 200_000)
-	slowCfg := reno.MECF(160)
-	slowCfg.PenalizeAllFusions = true
-	slow, _, err := pipeline.RunProgram(pipeline.FourWide(slowCfg), w.Code, warm, 200_000)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// An inline JSON spec overrides the one field — no named preset needed.
+	base := run(sim.Spec{Bench: "gsm.de", Config: "BASE"})
+	slow := run(sim.Spec{
+		Bench:  "gsm.de",
+		Config: `{"base": "ME+CF", "name": "ME+CF-slowfuse", "penalize_all_fusions": true}`,
+	})
 	fmt.Printf("\ngsm.de with every fusion costing +1 cycle: %+.1f%% speedup (CF keeps most of its gain)\n",
 		100*(float64(base.Cycles)/float64(slow.Cycles)-1))
 }

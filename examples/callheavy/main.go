@@ -2,7 +2,8 @@
 // SPEC-style call-intensive code: stack spills and fills around nested
 // calls collapse into direct producer-consumer register dataflow, with
 // RENO.CF folding the stack-pointer arithmetic that would otherwise break
-// the name match across frames (the Section 2.4 synergy).
+// the name match across frames (the Section 2.4 synergy). Built entirely
+// on the public reno/sim + reno/metrics API.
 //
 //	go run ./examples/callheavy
 package main
@@ -11,41 +12,38 @@ import (
 	"fmt"
 	"log"
 
-	"reno/internal/pipeline"
-	"reno/internal/reno"
-	"reno/internal/workload"
+	"reno/metrics"
+	"reno/sim"
 )
+
+func run(bench, config string) *sim.Result {
+	p, err := sim.Load(sim.Spec{Bench: bench, Config: config})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(sim.Options{MaxInsts: 200_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
 
 func main() {
 	for _, name := range []string{"perl.s", "vortex", "gcc"} {
-		prof, ok := workload.ByName(name)
-		if !ok {
-			log.Fatalf("no profile %s", name)
-		}
-		w := workload.MustBuild(prof)
-		warm, err := w.WarmupCount()
-		if err != nil {
-			log.Fatal(err)
-		}
+		base := run(name, "BASE")
+		mecf := run(name, "ME+CF")
+		full := run(name, "RENO")
 
-		run := func(rc reno.Config) *pipeline.Result {
-			res, _, err := pipeline.RunProgram(pipeline.FourWide(rc), w.Code, warm, 200_000)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return res
-		}
-		base := run(reno.Baseline(160))
-		mecf := run(reno.MECF(160))
-		full := run(reno.Default(160))
-
-		sp := func(r *pipeline.Result) float64 {
+		sp := func(r *sim.Result) float64 {
 			return 100 * (float64(base.Cycles)/float64(r.Cycles) - 1)
 		}
+		m := full.Metrics()
+		count := func(n string) uint64 { c, _ := m.Count(n); return c }
+		elimLoads, _ := m.Value(metrics.RenoElimLoads)
 		fmt.Printf("%-8s  ME+CF alone:      %+5.1f%%\n", name, sp(mecf))
 		fmt.Printf("          + load bypassing: %+5.1f%%  (%.1f%% of instructions were loads eliminated by CSE/RA)\n",
-			sp(full), full.ElimLoads)
+			sp(full), elimLoads)
 		fmt.Printf("          integration table: %d lookups, %d hits; re-exec mismatches: %d\n",
-			full.ITLookups, full.ITHits, full.ReexecFails)
+			count(metrics.ITLookups), count(metrics.ITHits), count(metrics.PipelineReexecFails))
 	}
 }

@@ -1,7 +1,9 @@
 // Downsize demonstrates the paper's Section 4.5 claim: RENO can absorb a
 // significantly scaled-down execution core. A RENO machine with 30% fewer
 // physical registers, one fewer ALU, and a 2-cycle scheduling loop is
-// compared against the full-size RENO-less baseline.
+// compared against the full-size RENO-less baseline. The scaled-down cores
+// are expressed in the machine registry's modifier DSL through the public
+// sim facade — the same strings work in renosim -machine and sweep grids.
 //
 //	go run ./examples/downsize
 package main
@@ -10,9 +12,7 @@ import (
 	"fmt"
 	"log"
 
-	"reno/internal/pipeline"
-	"reno/internal/reno"
-	"reno/internal/workload"
+	"reno/sim"
 )
 
 func main() {
@@ -20,30 +20,24 @@ func main() {
 	fmt.Println("relative performance (100 = full-size 4-wide RENO-less baseline)")
 	fmt.Printf("%-10s %12s %16s %18s\n", "bench", "base/small", "RENO/small", "RENO/small+2c")
 	for _, name := range benches {
-		prof, ok := workload.ByName(name)
-		if !ok {
-			log.Fatalf("no profile %s", name)
-		}
-		w := workload.MustBuild(prof)
-		warm, err := w.WarmupCount()
-		if err != nil {
-			log.Fatal(err)
-		}
-
-		run := func(cfg pipeline.Config) uint64 {
-			res, _, err := pipeline.RunProgram(cfg, w.Code, warm, 200_000)
+		run := func(machine, config string) uint64 {
+			p, err := sim.Load(sim.Spec{Bench: name, Machine: machine, Config: config})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := p.Run(sim.Options{MaxInsts: 200_000})
 			if err != nil {
 				log.Fatal(err)
 			}
 			return res.Cycles
 		}
 
-		full := run(pipeline.FourWide(reno.Baseline(160)))
+		full := run("4w", "BASE")
 		// The scaled-down core: 112 registers (-30%), 2 integer ALUs with
 		// 3-wide issue (one ALU and its paths removed).
-		smallBase := run(pipeline.FourWide(reno.Baseline(112)).WithIssue(2, 3))
-		smallReno := run(pipeline.FourWide(reno.Default(112)).WithIssue(2, 3))
-		smallReno2c := run(pipeline.FourWide(reno.Default(112)).WithIssue(2, 3).WithSchedLoop(2))
+		smallBase := run("4w:p112:i2t3", "BASE")
+		smallReno := run("4w:p112:i2t3", "RENO")
+		smallReno2c := run("4w:p112:i2t3:s2", "RENO")
 
 		rel := func(c uint64) float64 { return 100 * float64(full) / float64(c) }
 		fmt.Printf("%-10s %11.1f%% %15.1f%% %17.1f%%\n",

@@ -1,5 +1,7 @@
-// Quickstart: assemble a tiny program, run it on the simulated 4-wide core
-// with and without RENO, and print what the renamer eliminated.
+// Quickstart: assemble a tiny program through the public sim facade, run
+// it on the simulated 4-wide core with and without RENO, and print what
+// the renamer eliminated. Everything here uses only the public packages
+// reno/sim and reno/metrics — the same surface an embedding program sees.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,54 +10,61 @@ import (
 	"fmt"
 	"log"
 
-	"reno/internal/asm"
-	"reno/internal/pipeline"
-	"reno/internal/reno"
+	"reno/metrics"
+	"reno/sim"
 )
 
-func main() {
-	// A loop built from the idioms RENO targets: a register move, an
-	// induction-variable addi, an explicit address computation feeding a
-	// load, and a stack spill/fill pair.
-	prog, err := asm.Assemble(`
-		li   r1, 4096        # array base
-		li   r9, 500         # trip count
-	loop:
-		addi r2, r1, 8       # address computation  (RENO.CF folds this)
-		ld   r3, 0(r2)       # ...fused into the load's 3-input adder
-		move r4, r3          # register move        (RENO.ME eliminates)
-		add  r5, r5, r4
-		st   r5, 8(sp)       # spill
-		ld   r6, 8(sp)       # fill                 (RENO.RA bypasses)
-		add  r7, r6, r5
-		addi r1, r1, 2       # pointer bump         (RENO.CF folds)
-		subi r9, r9, 1       # loop control         (RENO.CF folds)
-		bne  r9, zero, loop
-		halt
-	`)
-	if err != nil {
-		log.Fatal(err)
-	}
+// src is a loop built from the idioms RENO targets: a register move, an
+// induction-variable addi, an explicit address computation feeding a load,
+// and a stack spill/fill pair.
+const src = `
+	li   r1, 4096        # array base
+	li   r9, 500         # trip count
+loop:
+	addi r2, r1, 8       # address computation  (RENO.CF folds this)
+	ld   r3, 0(r2)       # ...fused into the load's 3-input adder
+	move r4, r3          # register move        (RENO.ME eliminates)
+	add  r5, r5, r4
+	st   r5, 8(sp)       # spill
+	ld   r6, 8(sp)       # fill                 (RENO.RA bypasses)
+	add  r7, r6, r5
+	addi r1, r1, 2       # pointer bump         (RENO.CF folds)
+	subi r9, r9, 1       # loop control         (RENO.CF folds)
+	bne  r9, zero, loop
+	halt
+`
 
-	base, hashB, err := pipeline.RunProgram(pipeline.FourWide(reno.Baseline(160)), prog.Code, 0, 0)
-	if err != nil {
-		log.Fatal(err)
+func main() {
+	run := func(config string) *sim.Result {
+		p, err := sim.LoadAsm(src, sim.Spec{Machine: "4w", Config: config})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.Run(sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
 	}
-	full, hashR, err := pipeline.RunProgram(pipeline.FourWide(reno.Default(160)), prog.Code, 0, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if hashB != hashR {
+	base := run("BASE")
+	full := run("RENO")
+	if base.ArchHash != full.ArchHash {
 		log.Fatal("architectural state diverged — RENO must be invisible to software")
 	}
 
 	fmt.Printf("baseline: %6d cycles, IPC %.2f\n", base.Cycles, base.IPC)
 	fmt.Printf("RENO:     %6d cycles, IPC %.2f  (%.1f%% speedup)\n",
 		full.Cycles, full.IPC, 100*(float64(base.Cycles)/float64(full.Cycles)-1))
+
+	// Everything beyond the headline fields lives in the unified metric
+	// set under stable dotted names (docs/metrics.md).
+	m := full.Metrics()
+	value := func(name string) float64 { v, _ := m.Value(name); return v }
+	basePregs, _ := base.Metrics().Value(metrics.PipelinePregsAvg)
 	fmt.Printf("eliminated or folded: %.1f%% of dynamic instructions\n", full.ElimTotal)
-	fmt.Printf("  moves (ME):               %.1f%%\n", full.ElimME)
-	fmt.Printf("  reg-imm additions (CF):   %.1f%%\n", full.ElimCF)
-	fmt.Printf("  loads (CSE+RA):           %.1f%%\n", full.ElimLoads)
+	fmt.Printf("  moves (ME):               %.1f%%\n", value(metrics.RenoElimME))
+	fmt.Printf("  reg-imm additions (CF):   %.1f%%\n", value(metrics.RenoElimCF))
+	fmt.Printf("  loads (CSE+RA):           %.1f%%\n", value(metrics.RenoElimLoads))
 	fmt.Printf("physical registers: baseline avg %.0f in use, RENO avg %.0f\n",
-		base.AvgPregsInUse, full.AvgPregsInUse)
+		basePregs, value(metrics.PipelinePregsAvg))
 }

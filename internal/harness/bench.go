@@ -2,38 +2,36 @@ package harness
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"time"
 
 	machreg "reno/internal/machine"
 	"reno/internal/pipeline"
 	"reno/internal/workload"
+	"reno/metrics"
 )
-
-// BenchSchema identifies the BENCH_pipeline.json format; bump on any
-// incompatible change. See docs/benchmarking.md for the field-by-field
-// schema and comparison guidance.
-const BenchSchema = "reno-bench-pipeline/v1"
 
 // BenchCell is one (machine preset, benchmark) simulator-throughput
 // measurement: how fast the detailed pipeline simulates that workload on
-// the host, not how fast the simulated core runs it (that is IPC).
+// the host, not how fast the simulated core runs it (that is IPC). Its
+// serialized form is a record of the reno.metrics/v1 envelope (see
+// MetricsReport and docs/benchmarking.md).
 type BenchCell struct {
-	Machine string `json:"machine"`
-	Bench   string `json:"bench"`
+	Machine string
+	Bench   string
 
-	Insts  uint64  `json:"insts"`  // timed committed instructions
-	Cycles uint64  `json:"cycles"` // simulated cycles
-	IPC    float64 `json:"ipc"`    // simulated-core performance (sanity anchor)
+	Insts  uint64  // timed committed instructions
+	Cycles uint64  // simulated cycles
+	IPC    float64 // simulated-core performance (sanity anchor)
 
-	WallNS            int64   `json:"wall_ns"`
-	MIPS              float64 `json:"mips"`           // simulated megainstructions per wall second
-	CyclesPerSec      float64 `json:"cycles_per_sec"` // simulated cycles per wall second
-	AllocsPerKiloInst float64 `json:"allocs_per_kilo_inst"`
-	BytesPerKiloInst  float64 `json:"bytes_per_kilo_inst"`
+	WallNS            int64
+	MIPS              float64 // simulated megainstructions per wall second
+	CyclesPerSec      float64 // simulated cycles per wall second
+	AllocsPerKiloInst float64
+	BytesPerKiloInst  float64
 }
 
 // Key returns the cell's baseline-lookup key, "machine/bench".
@@ -41,10 +39,10 @@ func (c BenchCell) Key() string { return c.Machine + "/" + c.Bench }
 
 // BenchTotals aggregates a bench run.
 type BenchTotals struct {
-	Insts             uint64  `json:"insts"`
-	WallNS            int64   `json:"wall_ns"`
-	MIPS              float64 `json:"mips"`
-	AllocsPerKiloInst float64 `json:"allocs_per_kilo_inst"`
+	Insts             uint64
+	WallNS            int64
+	MIPS              float64
+	AllocsPerKiloInst float64
 }
 
 // BenchBaseline is a recorded reference measurement. MIPS and
@@ -54,9 +52,9 @@ type BenchTotals struct {
 // meaningful run-over-run on comparable machines (such as the CI runner
 // class, or one developer box over time).
 type BenchBaseline struct {
-	Label             string             `json:"label"`
-	MIPS              map[string]float64 `json:"mips"`
-	AllocsPerKiloInst map[string]float64 `json:"allocs_per_kilo_inst"`
+	Label             string
+	MIPS              map[string]float64
+	AllocsPerKiloInst map[string]float64
 }
 
 // PrePRBaseline is the simulator's throughput immediately before the
@@ -82,26 +80,25 @@ var PrePRBaseline = BenchBaseline{
 	},
 }
 
-// BenchReport is the serialized form of one benchmark pass
-// (BENCH_pipeline.json).
+// BenchReport is one benchmark pass; BENCH_pipeline.json is its
+// MetricsReport envelope rendering.
 type BenchReport struct {
-	Schema    string `json:"schema"`
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
+	GoVersion string
+	GOOS      string
+	GOARCH    string
+	NumCPU    int
 
-	MaxInsts uint64  `json:"max_insts"`
-	Scale    float64 `json:"scale"`
+	MaxInsts uint64
+	Scale    float64
 
-	Cells  []BenchCell `json:"cells"`
-	Totals BenchTotals `json:"totals"`
+	Cells  []BenchCell
+	Totals BenchTotals
 
 	// Baseline is the recorded reference; SpeedupPct compares Totals.MIPS
 	// against the baseline's expected throughput over the same cells
 	// (NaN-free: omitted when no measured cell has a baseline entry).
-	Baseline   *BenchBaseline `json:"baseline,omitempty"`
-	SpeedupPct *float64       `json:"speedup_pct_vs_baseline,omitempty"`
+	Baseline   *BenchBaseline
+	SpeedupPct *float64
 }
 
 // BenchPipeline measures detailed-simulator throughput for every (machine
@@ -114,7 +111,6 @@ type BenchReport struct {
 // the whole pass, since a partial cell would poison the trajectory.
 func BenchPipeline(ctx context.Context, machines, benches []string, maxInsts uint64, scale float64, timeout time.Duration) (*BenchReport, error) {
 	rep := &BenchReport{
-		Schema:    BenchSchema,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -247,11 +243,56 @@ func (rep *BenchReport) finish(base *BenchBaseline) {
 	}
 }
 
-// WriteJSON writes the report as indented JSON.
+// MetricsReport renders the pass as a reno.metrics/v1 envelope: host and
+// measurement context in the meta map, one record per cell (labeled by
+// machine and bench, with the simulated-core sanity anchors alongside the
+// throughput gauges), and the pass totals — plus the baseline comparison,
+// when one applies — as the summary set.
+func (rep *BenchReport) MetricsReport() *metrics.Report {
+	out := metrics.NewReport("renobench")
+	out.Meta = map[string]string{
+		"go_version": rep.GoVersion,
+		"goos":       rep.GOOS,
+		"goarch":     rep.GOARCH,
+		"num_cpu":    strconv.Itoa(rep.NumCPU),
+		"max_insts":  strconv.FormatUint(rep.MaxInsts, 10),
+		"scale":      strconv.FormatFloat(rep.Scale, 'g', -1, 64),
+	}
+	if rep.Baseline != nil {
+		out.Meta["baseline"] = rep.Baseline.Label
+	}
+	for _, c := range rep.Cells {
+		set := metrics.NewSet().
+			Counter(metrics.PipelineInsts, c.Insts).
+			Counter(metrics.PipelineCycles, c.Cycles).
+			Gauge(metrics.PipelineIPC, c.IPC).
+			Counter(metrics.BenchWallNS, uint64(c.WallNS)).
+			Gauge(metrics.BenchMIPS, c.MIPS).
+			Gauge(metrics.BenchCyclesPerSec, c.CyclesPerSec).
+			Gauge(metrics.BenchAllocsPerKI, c.AllocsPerKiloInst).
+			Gauge(metrics.BenchBytesPerKI, c.BytesPerKiloInst)
+		out.Add(metrics.Record{
+			Labels: map[string]string{
+				metrics.LabelMachine: c.Machine,
+				metrics.LabelBench:   c.Bench,
+			},
+			Metrics: set,
+		})
+	}
+	out.Summary = metrics.NewSet().
+		Counter(metrics.BenchTotalInsts, rep.Totals.Insts).
+		Counter(metrics.BenchTotalWallNS, uint64(rep.Totals.WallNS)).
+		Gauge(metrics.BenchTotalMIPS, rep.Totals.MIPS).
+		Gauge(metrics.BenchTotalAllocsKI, rep.Totals.AllocsPerKiloInst)
+	if rep.SpeedupPct != nil {
+		out.Summary.Gauge(metrics.BenchSpeedupPct, *rep.SpeedupPct)
+	}
+	return out
+}
+
+// WriteJSON writes the report as a reno.metrics/v1 envelope.
 func (rep *BenchReport) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return rep.MetricsReport().Encode(w)
 }
 
 // FprintSummary renders the report as a small text table plus the baseline

@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"reno/internal/cpa"
+	"reno/internal/reno"
+	"reno/metrics"
+)
+
+// Metrics derives the unified public result model from a simulation result:
+// one metrics.Set carrying every counter, gauge, and ratio under its stable
+// dotted name (see reno/metrics and docs/metrics.md). The same derivation
+// backs single renosim runs, every record of a renosweep grid, and the
+// sanity anchors of renobench cells, so one schema describes all of them.
+//
+// The full fixed name set is always present — a BASE run carries zero-valued
+// IT counters rather than an absent subsystem — except the cpa.* breakdown,
+// which exists only when the analyzer was attached. Undefined rates (e.g.
+// branch accuracy over zero control transfers) are dropped by the metrics
+// constructors, never emitted as NaN.
+func (r *Result) Metrics() *metrics.Set {
+	s := metrics.NewSet()
+	s.Counter(metrics.PipelineCycles, r.Cycles)
+	s.Counter(metrics.PipelineInsts, r.Insts)
+	s.Gauge(metrics.PipelineIPC, r.IPC)
+
+	s.Gauge(metrics.RenoElimME, r.ElimME)
+	s.Gauge(metrics.RenoElimCF, r.ElimCF)
+	s.Gauge(metrics.RenoElimLoads, r.ElimLoads)
+	s.Gauge(metrics.RenoElimALU, r.ElimALU)
+	s.Gauge(metrics.RenoElimTotal, r.ElimTotal)
+
+	s.Counter(metrics.RenoRenamed, r.Reno.Renamed)
+	s.Counter(metrics.RenoElimMECount, r.Reno.Eliminated[reno.KindME])
+	s.Counter(metrics.RenoElimCFCount, r.Reno.Eliminated[reno.KindCF])
+	s.Counter(metrics.RenoElimCSELoadCount, r.Reno.Eliminated[reno.KindCSELoad])
+	s.Counter(metrics.RenoElimRALoadCount, r.Reno.Eliminated[reno.KindRALoad])
+	s.Counter(metrics.RenoElimCSEALUCount, r.Reno.Eliminated[reno.KindCSEALU])
+	s.Counter(metrics.RenoFusedOps, r.Reno.FusedOps)
+	s.Counter(metrics.RenoFusedPenalized, r.Reno.FusedPenalized)
+	s.Counter(metrics.RenoFoldCancelOvf, r.Reno.FoldCancelOverflow)
+	s.Counter(metrics.RenoFoldCancelGroup, r.Reno.FoldCancelGroupDep)
+	s.Counter(metrics.RenoZeroSourceFolds, r.Reno.ZeroSourceFolds)
+	s.Counter(metrics.RenoRenameStallsPregs, r.RenameStallPregs)
+
+	s.Ratio(metrics.BpredAccuracy, r.BranchAccuracy)
+	s.Counter(metrics.BpredMispredicts, r.Mispredicts)
+
+	s.Ratio(metrics.CacheL1DMissRate, r.L1DMissRate)
+	s.Ratio(metrics.CacheL2MissRate, r.L2MissRate)
+
+	s.Counter(metrics.PipelineOrderViolations, r.OrderViolations)
+	s.Counter(metrics.PipelineReexecFails, r.ReexecFails)
+	s.Counter(metrics.PipelineReplays, r.Replays)
+
+	s.Gauge(metrics.PipelineIQOccAvg, r.AvgIQOcc)
+	s.Gauge(metrics.PipelinePregsAvg, r.AvgPregsInUse)
+	s.Gauge(metrics.PipelinePregsMax, float64(r.MaxPregsUsed))
+	s.Counter(metrics.PipelineFetchStalls, r.FetchStallCycles)
+	s.Counter(metrics.PipelineStorePortConfl, r.StorePortConflicts)
+
+	s.Counter(metrics.ITLookups, r.ITLookups)
+	s.Counter(metrics.ITInserts, r.ITInserts)
+	s.Counter(metrics.ITHits, r.ITHits)
+
+	if r.CPA != nil {
+		p := r.CPA.Percent()
+		s.Gauge(metrics.CPAFetchPct, p[cpa.BFetch])
+		s.Gauge(metrics.CPAALUPct, p[cpa.BALU])
+		s.Gauge(metrics.CPALoadPct, p[cpa.BLoad])
+		s.Gauge(metrics.CPAMemPct, p[cpa.BMem])
+		s.Gauge(metrics.CPACommitPct, p[cpa.BCommit])
+	}
+	return s
+}

@@ -256,6 +256,11 @@ type RunOptions struct {
 	// the simulation goroutine; a slow observer slows the run, nothing
 	// else.
 	Observer func(IntervalStats)
+
+	// CPAChunk attaches the critical-path analyzer with this chunk size
+	// before timing begins (0 = no analysis). It is the options-form of
+	// AttachCPA, so context-aware callers need no separate setup step.
+	CPAChunk int
 }
 
 // IntervalStats is the progress snapshot handed to a RunOptions.Observer:
@@ -301,6 +306,9 @@ func (s *Sim) Run() (*Result, error) {
 // no goroutines and returns promptly (within ctxCheckInterval simulated
 // cycles) once ctx is canceled.
 func (s *Sim) RunContext(ctx context.Context, opts RunOptions) (*Result, error) {
+	if opts.CPAChunk > 0 && s.analyzer == nil {
+		s.AttachCPA(opts.CPAChunk)
+	}
 	done := ctx.Done()
 	var prev obsBase // observer baseline (zero = start of timing)
 	nextObserve := uint64(0)

@@ -18,12 +18,12 @@ const warmupCtxInterval = 4096
 // maxInsts instructions commit (0 = no limit). The final architectural
 // state hash is returned for cross-configuration equivalence checks.
 func RunProgram(cfg Config, code []isa.Inst, warmup, maxInsts uint64) (*Result, uint64, error) {
-	return runProgram(context.Background(), cfg, code, warmup, maxInsts, 0, RunOptions{})
+	return runProgram(context.Background(), cfg, code, warmup, maxInsts, RunOptions{})
 }
 
 // RunProgramCPA is RunProgram with critical-path analysis attached.
 func RunProgramCPA(cfg Config, code []isa.Inst, warmup, maxInsts uint64, chunk int) (*Result, uint64, error) {
-	return runProgram(context.Background(), cfg, code, warmup, maxInsts, chunk, RunOptions{})
+	return runProgram(context.Background(), cfg, code, warmup, maxInsts, RunOptions{CPAChunk: chunk})
 }
 
 // RunProgramContext is RunProgram under a context and RunOptions: the run
@@ -33,10 +33,10 @@ func RunProgramCPA(cfg Config, code []isa.Inst, warmup, maxInsts uint64, chunk i
 // state reached and ctx's error; cancellation during functional warmup
 // returns a nil Result (no cycles were timed yet).
 func RunProgramContext(ctx context.Context, cfg Config, code []isa.Inst, warmup, maxInsts uint64, opts RunOptions) (*Result, uint64, error) {
-	return runProgram(ctx, cfg, code, warmup, maxInsts, 0, opts)
+	return runProgram(ctx, cfg, code, warmup, maxInsts, opts)
 }
 
-func runProgram(ctx context.Context, cfg Config, code []isa.Inst, warmup, maxInsts uint64, cpaChunk int, opts RunOptions) (*Result, uint64, error) {
+func runProgram(ctx context.Context, cfg Config, code []isa.Inst, warmup, maxInsts uint64, opts RunOptions) (*Result, uint64, error) {
 	m := emu.New(code)
 	done := ctx.Done()
 	for m.ICount < warmup && !m.Halted {
@@ -64,9 +64,6 @@ func runProgram(ctx context.Context, cfg Config, code []isa.Inst, warmup, maxIns
 		}
 		return d, true
 	})
-	if cpaChunk > 0 {
-		s.AttachCPA(cpaChunk)
-	}
 	res, err := s.RunContext(ctx, opts)
 	if err != nil {
 		// Cancellation: res is the partial snapshot (nil on internal

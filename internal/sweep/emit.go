@@ -5,14 +5,18 @@ import (
 	"encoding/json"
 	"io"
 	"strconv"
+
+	"reno/metrics"
 )
 
-// Report is the serialized form of a completed sweep: the grid that produced
-// it, one record per run (in job order), and aggregate totals.
+// Report is a completed sweep: the grid that produced it, one result per
+// run (in job order), and aggregate totals. Its serialized form is the
+// unified reno.metrics/v1 envelope (MetricsReport), with CSV as a
+// flat-table convenience view.
 type Report struct {
-	Grid    Grid      `json:"grid"`
-	Summary Summary   `json:"summary"`
-	Results []*Result `json:"results"`
+	Grid    Grid
+	Summary Summary
+	Results []*Result
 }
 
 // EmitOptions controls serialization.
@@ -27,36 +31,105 @@ func NewReport(g Grid, results []*Result) *Report {
 	return &Report{Grid: g, Summary: Summarize(results), Results: results}
 }
 
-// WriteJSON writes the report as indented JSON.
-func (rep *Report) WriteJSON(w io.Writer, opts EmitOptions) error {
-	out := rep
-	if opts.Deterministic {
-		out = rep.stripped()
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
-}
+// MetricsReport renders the sweep as a reno.metrics/v1 envelope: the grid
+// embedded as the report spec, the sweep totals as the summary set, and one
+// record per run in job order — successful runs carry the full pipeline
+// metric set, failed runs the partial counters plus an error attr. With
+// opts.Deterministic, wall-clock metrics are zeroed and the embedded grid
+// drops its worker count, so two stable sweeps of the same grid are
+// byte-identical whatever pool width produced them. The envelope's Tool is
+// left for the caller to stamp (the facade says "sim", the CLI
+// "renosweep").
+func (rep *Report) MetricsReport(opts EmitOptions) (*metrics.Report, error) {
+	out := metrics.NewReport("")
 
-// stripped returns a deep-enough copy with wall-clock fields zeroed.
-// Workers is a scheduling knob with no effect on outcomes, so it is zeroed
-// too: two deterministic emissions of the same grid are byte-identical
-// whatever pool width produced them.
-func (rep *Report) stripped() *Report {
-	cp := *rep
-	cp.Grid.Workers = 0
-	cp.Summary.WallNS = 0
-	cp.Results = make([]*Result, len(rep.Results))
-	for i, r := range rep.Results {
+	grid := rep.Grid
+	if opts.Deterministic {
+		grid.Workers = 0
+	}
+	spec, err := json.Marshal(grid)
+	if err != nil {
+		return nil, err
+	}
+	out.Spec = spec
+
+	sum := rep.Summary
+	wall := sum.WallNS
+	if opts.Deterministic {
+		wall = 0
+	}
+	out.Summary = metrics.NewSet().
+		Counter(metrics.SweepRuns, uint64(sum.Runs)).
+		Counter(metrics.SweepFailed, uint64(sum.Failed)).
+		Counter(metrics.SweepInsts, sum.Insts).
+		Counter(metrics.SweepCycles, sum.Cycles).
+		Counter(metrics.SweepWallNS, uint64(wall)).
+		Gauge(metrics.SweepMeanIPC, sum.MeanIPC).
+		Counter(metrics.SweepAuditWarnings, uint64(sum.Warnings))
+
+	for _, r := range rep.Results {
 		if r == nil {
 			continue
 		}
-		rc := *r
-		rc.WallNS = 0
-		rc.SimInstsPerSec = 0
-		cp.Results[i] = &rc
+		out.Add(r.record(opts))
 	}
-	return &cp
+	return out, nil
+}
+
+// record renders one run as an envelope record.
+func (r *Result) record(opts EmitOptions) metrics.Record {
+	labels := map[string]string{
+		metrics.LabelBench:  r.Bench,
+		metrics.LabelConfig: r.Config,
+	}
+	if r.Suite != "" {
+		labels[metrics.LabelSuite] = r.Suite
+	}
+	if r.Machine != "" {
+		labels[metrics.LabelMachine] = r.Machine
+	}
+	if r.Seed != 0 {
+		labels[metrics.LabelSeed] = strconv.FormatInt(r.Seed, 10)
+	}
+
+	attrs := map[string]string{metrics.AttrRunHash: r.Hash}
+	if r.ArchHash != "" {
+		attrs[metrics.AttrArchHash] = r.ArchHash
+	}
+	if r.Err != "" {
+		attrs[metrics.AttrError] = r.Err
+	}
+
+	var set *metrics.Set
+	if r.Pipeline != nil {
+		set = r.Pipeline.Metrics()
+		if r.Pipeline.StopReason != "" {
+			attrs[metrics.AttrStopReason] = r.Pipeline.StopReason
+		}
+	} else {
+		// The run failed (or was canceled before completing): emit the
+		// partial headline counters the pool recorded.
+		set = metrics.NewSet().
+			Counter(metrics.PipelineCycles, r.Cycles).
+			Counter(metrics.PipelineInsts, r.Insts).
+			Gauge(metrics.PipelineIPC, r.IPC)
+	}
+	wall, ips := r.WallNS, r.SimInstsPerSec
+	if opts.Deterministic {
+		wall, ips = 0, 0
+	}
+	set.Counter(metrics.RunWallNS, uint64(wall))
+	set.Gauge(metrics.RunSimInstsPerSec, ips)
+	return metrics.Record{Labels: labels, Attrs: attrs, Metrics: set}
+}
+
+// WriteJSON writes the report as a reno.metrics/v1 envelope.
+func (rep *Report) WriteJSON(w io.Writer, opts EmitOptions) error {
+	mr, err := rep.MetricsReport(opts)
+	if err != nil {
+		return err
+	}
+	return mr.Encode(w)
 }
 
 // csvHeader is the column order of WriteCSV.

@@ -110,26 +110,12 @@ type Grid struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// RenoNames lists the named RENO configurations a grid may reference, in
-// canonical order. It is a convenience re-export of the internal/machine
-// registry.
-func RenoNames() []string { return machine.RenoNames() }
-
-// RenoByName returns the named RENO configuration with PhysRegs unset (the
-// machine spec supplies the register file size). Deprecated shim over
-// machine.RenoByName.
-func RenoByName(name string) (reno.Config, error) { return machine.RenoByName(name) }
-
-// ParseMachine builds the pipeline configuration for a machine spec string,
-// instantiated with the given RENO configuration. Deprecated shim over
-// machine.ParseMachine (which also rejects duplicate modifiers).
-func ParseMachine(spec string, rc reno.Config) (pipeline.Config, error) {
-	return machine.ParseMachine(spec, rc)
-}
-
-// resolveBenches expands bench names and suite aliases into profiles,
-// preserving first-mention order and dropping duplicates.
-func resolveBenches(names []string) ([]workload.Profile, error) {
+// ResolveBenches expands bench names and suite aliases — exact benchmark
+// names, "SPECint"/"spec", "MediaBench"/"media", "all", or micro kernels
+// ("micro.<kernel>") — into profiles, preserving first-mention order and
+// dropping duplicates. It is the benchmark-axis resolver shared by grids
+// and the public sim facade.
+func ResolveBenches(names []string) ([]workload.Profile, error) {
 	var out []workload.Profile
 	seen := map[string]bool{}
 	add := func(ps ...workload.Profile) {
@@ -206,7 +192,7 @@ func resolveMachine(s Spec, rc reno.Config) (pipeline.Config, string, error) {
 // when empty; every resolved configuration is validated, so a grid that
 // expands cleanly will not fail on a config error mid-sweep.
 func (g Grid) Expand() ([]Job, error) {
-	benches, err := resolveBenches(g.Benches)
+	benches, err := ResolveBenches(g.Benches)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"reno/internal/machine"
 	"reno/internal/workload"
 )
 
@@ -86,25 +87,25 @@ func TestExpandErrors(t *testing.T) {
 }
 
 func TestParseMachineModifiers(t *testing.T) {
-	rc, err := RenoByName("RENO")
+	rc, err := machine.RenoByName("RENO")
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := ParseMachine("4w:p128:i2t3:s2", rc)
+	cfg, err := machine.ParseMachine("4w:p128:i2t3:s2", rc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Reno.PhysRegs != 128 || cfg.IntALUs != 2 || cfg.IssueTotal != 3 || cfg.SchedLoop != 2 {
 		t.Errorf("modifiers not applied: %+v", cfg)
 	}
-	if cfg6, _ := ParseMachine("6w", rc); cfg6.FetchWidth != 6 {
+	if cfg6, _ := machine.ParseMachine("6w", rc); cfg6.FetchWidth != 6 {
 		t.Errorf("6w fetch width %d", cfg6.FetchWidth)
 	}
 }
 
 func TestRenoByNameCoversAllNames(t *testing.T) {
-	for _, name := range RenoNames() {
-		rc, err := RenoByName(name)
+	for _, name := range machine.RenoNames() {
+		rc, err := machine.RenoByName(name)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 		}

@@ -55,42 +55,43 @@ func (j Job) Tag() string {
 	return tag
 }
 
-// Result is one completed run. Fields under the json tags form the stable
-// machine-readable record; Pipeline retains the full simulator result for
-// in-process consumers (tables, audits) and is not serialized.
+// Result is one completed run. The scalar fields form the stable
+// machine-readable record (serialized through the reno.metrics/v1 envelope
+// and the CSV view; see emit.go); Pipeline retains the full simulator
+// result for in-process consumers (tables, audits) and richer emission.
 type Result struct {
-	Bench   string `json:"bench"`
-	Suite   string `json:"suite"`
-	Machine string `json:"machine,omitempty"`
-	Config  string `json:"config"`
-	Seed    int64  `json:"seed"`
+	Bench   string
+	Suite   string
+	Machine string
+	Config  string
+	Seed    int64
 
-	Cycles uint64  `json:"cycles"`
-	Insts  uint64  `json:"insts"`
-	IPC    float64 `json:"ipc"`
+	Cycles uint64
+	Insts  uint64
+	IPC    float64
 
-	ElimME    float64 `json:"elim_me"`
-	ElimCF    float64 `json:"elim_cf"`
-	ElimLoads float64 `json:"elim_loads"`
-	ElimALU   float64 `json:"elim_alu"`
-	ElimTotal float64 `json:"elim_total"`
+	ElimME    float64
+	ElimCF    float64
+	ElimLoads float64
+	ElimALU   float64
+	ElimTotal float64
 
-	BranchAccuracy float64 `json:"branch_accuracy"`
+	BranchAccuracy float64
 
 	// ArchHash is the final architectural state hash (the cross-config
 	// equivalence witness); Hash is the stable per-run result hash over
 	// every deterministic field above.
-	ArchHash string `json:"arch_hash"`
-	Hash     string `json:"run_hash"`
+	ArchHash string
+	Hash     string
 
 	// Wall-clock telemetry; excluded from Hash by construction and zeroed
 	// by deterministic emission modes.
-	WallNS         int64   `json:"wall_ns"`
-	SimInstsPerSec float64 `json:"sim_insts_per_sec"`
+	WallNS         int64
+	SimInstsPerSec float64
 
-	Err string `json:"error,omitempty"`
+	Err string
 
-	Pipeline *pipeline.Result `json:"-"`
+	Pipeline *pipeline.Result
 	archHash uint64
 	// buildFailed marks Err as a workload construction failure (the
 	// program never ran) rather than a simulation error.
@@ -352,15 +353,16 @@ func Audit(results []*Result) []string {
 	return warnings
 }
 
-// Summary aggregates a sweep's totals.
+// Summary aggregates a sweep's totals (serialized as the envelope's
+// summary metric set).
 type Summary struct {
-	Runs     int     `json:"runs"`
-	Failed   int     `json:"failed"`
-	Insts    uint64  `json:"insts"`
-	Cycles   uint64  `json:"cycles"`
-	WallNS   int64   `json:"wall_ns"` // summed per-run wall time (CPU-seconds of simulation)
-	MeanIPC  float64 `json:"mean_ipc"`
-	Warnings int     `json:"audit_warnings"`
+	Runs     int
+	Failed   int
+	Insts    uint64
+	Cycles   uint64
+	WallNS   int64 // summed per-run wall time (CPU-seconds of simulation)
+	MeanIPC  float64
+	Warnings int
 }
 
 // Summarize computes a Summary over results plus the audit warning count.

@@ -1,0 +1,296 @@
+// Package metrics defines the project's unified, versioned result model:
+// every measurement the simulator produces — a single renosim run, each run
+// of a renosweep grid, a renobench throughput cell — is a Set of typed
+// metrics with stable dotted names ("pipeline.cycles", "reno.elim.me",
+// "cache.l1d.miss_rate"), serialized under the versioned Report envelope
+// ("schema": "reno.metrics/v1").
+//
+// Three metric kinds exist:
+//
+//   - counter: a monotonic event count, carried as an exact uint64
+//     ("pipeline.cycles", "reno.eliminated.me", "it.hits");
+//   - gauge: a float measurement or level ("pipeline.ipc",
+//     "reno.elim.me" — the Figure 8 percentage — "pipeline.iq_occ.avg");
+//   - ratio: a dimensionless fraction in [0, 1] ("cache.l1d.miss_rate",
+//     "bpred.accuracy").
+//
+// Encoding is canonical and loss-free: metrics serialize name-sorted,
+// counters keep full uint64 precision, floats use Go's shortest
+// round-tripping form, and Decode(Encode(r)) reproduces r exactly — the
+// property CI's determinism gates and any downstream tooling depend on.
+// Non-finite gauge and ratio values (NaN, ±Inf) have no JSON encoding and
+// are dropped at insertion, so an undefined measurement (for example branch
+// accuracy over zero branches) is an absent metric, never a broken
+// document. See docs/metrics.md for the naming and versioning contract.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Kind classifies a metric's type.
+type Kind uint8
+
+const (
+	// Counter is a monotonic event count with exact uint64 precision.
+	Counter Kind = iota
+	// Gauge is a float measurement or level (may exceed 1, may be negative).
+	Gauge
+	// Ratio is a dimensionless fraction in [0, 1].
+	Ratio
+)
+
+// String returns the kind's canonical JSON name.
+func (k Kind) String() string {
+	switch k {
+	case Counter:
+		return "counter"
+	case Gauge:
+		return "gauge"
+	case Ratio:
+		return "ratio"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// kindByName is the inverse of Kind.String for decoding.
+func kindByName(s string) (Kind, bool) {
+	switch s {
+	case "counter":
+		return Counter, true
+	case "gauge":
+		return Gauge, true
+	case "ratio":
+		return Ratio, true
+	}
+	return 0, false
+}
+
+// Metric is one named measurement. Exactly one of Count (for counters) and
+// Value (for gauges and ratios) is meaningful, selected by Kind.
+type Metric struct {
+	Name  string
+	Kind  Kind
+	Count uint64  // counter value; 0 otherwise
+	Value float64 // gauge/ratio value; 0 for counters
+}
+
+// Float returns the metric's value as a float64 whatever its kind
+// (counters convert; values above 2^53 lose precision — use Count for
+// exact counter reads).
+func (m Metric) Float() float64 {
+	if m.Kind == Counter {
+		return float64(m.Count)
+	}
+	return m.Value
+}
+
+// metricJSON is the serialized form; value is deferred so counters decode
+// through uint64 parsing rather than float64.
+type metricJSON struct {
+	Name  string          `json:"name"`
+	Kind  string          `json:"kind"`
+	Value json.RawMessage `json:"value"`
+}
+
+// MarshalJSON encodes the metric with its kind-appropriate number form:
+// counters as exact unsigned integers, gauges and ratios as Go's shortest
+// round-tripping float rendering.
+func (m Metric) MarshalJSON() ([]byte, error) {
+	var v string
+	switch m.Kind {
+	case Counter:
+		v = strconv.FormatUint(m.Count, 10)
+	default:
+		if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+			return nil, fmt.Errorf("metric %q: non-finite %s value has no JSON form", m.Name, m.Kind)
+		}
+		v = strconv.FormatFloat(m.Value, 'g', -1, 64)
+	}
+	return json.Marshal(metricJSON{Name: m.Name, Kind: m.Kind.String(), Value: json.RawMessage(v)})
+}
+
+// UnmarshalJSON decodes a metric, parsing the value by declared kind so a
+// counter round-trips through uint64 with no float truncation.
+func (m *Metric) UnmarshalJSON(data []byte) error {
+	var raw metricJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.Name == "" {
+		return fmt.Errorf("metric without a name")
+	}
+	k, ok := kindByName(raw.Kind)
+	if !ok {
+		return fmt.Errorf("metric %q: unknown kind %q", raw.Name, raw.Kind)
+	}
+	*m = Metric{Name: raw.Name, Kind: k}
+	switch k {
+	case Counter:
+		v, err := strconv.ParseUint(string(raw.Value), 10, 64)
+		if err != nil {
+			return fmt.Errorf("metric %q: counter value %s: %w", raw.Name, raw.Value, err)
+		}
+		m.Count = v
+	default:
+		v, err := strconv.ParseFloat(string(raw.Value), 64)
+		if err != nil {
+			return fmt.Errorf("metric %q: %s value %s: %w", raw.Name, raw.Kind, raw.Value, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("metric %q: non-finite %s value", raw.Name, raw.Kind)
+		}
+		if k == Ratio && (v < 0 || v > 1) {
+			return fmt.Errorf("metric %q: ratio %g outside [0, 1]", raw.Name, v)
+		}
+		m.Value = v
+	}
+	return nil
+}
+
+// Set is a collection of uniquely named metrics. The zero value is ready to
+// use. Adding a name that already exists replaces the previous metric, so
+// builders can layer refinements without duplicate-checking.
+type Set struct {
+	idx  map[string]int
+	list []Metric
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{} }
+
+// add inserts or replaces a metric.
+func (s *Set) add(m Metric) *Set {
+	if s.idx == nil {
+		s.idx = map[string]int{}
+	}
+	if i, ok := s.idx[m.Name]; ok {
+		s.list[i] = m
+		return s
+	}
+	s.idx[m.Name] = len(s.list)
+	s.list = append(s.list, m)
+	return s
+}
+
+// Counter sets a counter metric. It returns the set for chaining.
+func (s *Set) Counter(name string, v uint64) *Set {
+	return s.add(Metric{Name: name, Kind: Counter, Count: v})
+}
+
+// Gauge sets a gauge metric, dropping non-finite values (a NaN measurement
+// is an absent metric, not a serialization failure). It returns the set.
+func (s *Set) Gauge(name string, v float64) *Set {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return s
+	}
+	return s.add(Metric{Name: name, Kind: Gauge, Value: v})
+}
+
+// Ratio sets a ratio metric, dropping non-finite values and clamping into
+// [0, 1] (float error on an exact-boundary rate must not invalidate the
+// document). It returns the set.
+func (s *Set) Ratio(name string, v float64) *Set {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return s
+	}
+	return s.add(Metric{Name: name, Kind: Ratio, Value: math.Min(1, math.Max(0, v))})
+}
+
+// Len returns the number of metrics in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.list)
+}
+
+// Lookup returns the named metric.
+func (s *Set) Lookup(name string) (Metric, bool) {
+	if s == nil || s.idx == nil {
+		return Metric{}, false
+	}
+	i, ok := s.idx[name]
+	if !ok {
+		return Metric{}, false
+	}
+	return s.list[i], true
+}
+
+// Count returns the named counter's value (0, false when absent or not a
+// counter).
+func (s *Set) Count(name string) (uint64, bool) {
+	m, ok := s.Lookup(name)
+	if !ok || m.Kind != Counter {
+		return 0, false
+	}
+	return m.Count, true
+}
+
+// Value returns the named metric's value as a float64, whatever its kind
+// (0, false when absent).
+func (s *Set) Value(name string) (float64, bool) {
+	m, ok := s.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	return m.Float(), true
+}
+
+// All returns the metrics in canonical (name-sorted) order. The returned
+// slice is a copy.
+func (s *Set) All() []Metric {
+	if s == nil {
+		return nil
+	}
+	out := append([]Metric(nil), s.list...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Equal reports whether two sets carry exactly the same metrics (names,
+// kinds, and values), regardless of insertion order.
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	a, b := s.All(), t.All()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalJSON encodes the set as a name-sorted array of metrics — the
+// canonical order that makes equal sets byte-identical.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	all := s.All()
+	if all == nil {
+		all = []Metric{}
+	}
+	return json.Marshal(all)
+}
+
+// UnmarshalJSON decodes a metric array, rejecting duplicate names (two
+// values for one name has no coherent meaning).
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var list []Metric
+	if err := json.Unmarshal(data, &list); err != nil {
+		return err
+	}
+	out := Set{}
+	for _, m := range list {
+		if _, dup := out.Lookup(m.Name); dup {
+			return fmt.Errorf("duplicate metric %q", m.Name)
+		}
+		out.add(m)
+	}
+	*s = out
+	return nil
+}

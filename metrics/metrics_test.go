@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fullSet builds a set exercising every kind, including values that would
+// break a float-only encoding.
+func fullSet() *Set {
+	s := NewSet()
+	s.Counter(PipelineCycles, 1<<62+3) // beyond float64's exact-integer range
+	s.Counter(PipelineInsts, 123_456)
+	s.Gauge(PipelineIPC, 1.234567890123456)
+	s.Gauge(RenoElimME, 4.3)
+	s.Gauge("custom.negative", -2.5)
+	s.Ratio(CacheL1DMissRate, 0.034)
+	s.Ratio(BpredAccuracy, 1.0)
+	return s
+}
+
+// TestMetricRoundTripIdentity pins the loss-free encoding contract:
+// encode → decode reproduces every metric exactly (uint64 counters
+// included), and re-encoding is byte-identical.
+func TestMetricRoundTripIdentity(t *testing.T) {
+	rep := NewReport("test")
+	rep.Meta = map[string]string{"scale": "1", "host": "unit-test"}
+	rep.Spec = []byte(`{"benches":["gzip"]}`)
+	rep.Summary = NewSet().Counter(SweepRuns, 2).Gauge(SweepMeanIPC, 1.5)
+	rep.Add(Record{
+		Labels:  map[string]string{LabelBench: "gzip", LabelMachine: "4w", LabelConfig: "RENO", LabelSeed: "0"},
+		Attrs:   map[string]string{AttrArchHash: "00deadbeef00cafe"},
+		Metrics: fullSet(),
+	})
+	rep.Add(Record{
+		Labels:  map[string]string{LabelBench: "gsm.de"},
+		Attrs:   map[string]string{AttrError: "canceled"},
+		Metrics: NewSet().Counter(PipelineCycles, 7),
+	})
+
+	var buf1 bytes.Buffer
+	if err := rep.Encode(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(buf1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dec.Schema != SchemaV1 || dec.Tool != "test" {
+		t.Fatalf("envelope fields lost: %+v", dec)
+	}
+	if len(dec.Records) != len(rep.Records) {
+		t.Fatalf("got %d records, want %d", len(dec.Records), len(rep.Records))
+	}
+	for i := range rep.Records {
+		if !dec.Records[i].Metrics.Equal(rep.Records[i].Metrics) {
+			t.Errorf("record %d metrics differ after round trip:\n got %+v\nwant %+v",
+				i, dec.Records[i].Metrics.All(), rep.Records[i].Metrics.All())
+		}
+	}
+	if !dec.Summary.Equal(rep.Summary) {
+		t.Errorf("summary differs after round trip")
+	}
+	if c, ok := dec.Records[0].Metrics.Count(PipelineCycles); !ok || c != 1<<62+3 {
+		t.Errorf("counter precision lost: got %d", c)
+	}
+
+	// Re-encoding the decoded document must be byte-identical: the
+	// encoding is canonical.
+	var buf2 bytes.Buffer
+	if err := dec.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Errorf("encode(decode(x)) != x:\n%s\n---\n%s", buf1.Bytes(), buf2.Bytes())
+	}
+}
+
+// TestSetSemantics covers replacement, lookup, ordering, and equality.
+func TestSetSemantics(t *testing.T) {
+	s := NewSet()
+	s.Counter("b.x", 1).Counter("a.y", 2).Counter("b.x", 9)
+	if s.Len() != 2 {
+		t.Fatalf("replacement added instead: len %d", s.Len())
+	}
+	if c, _ := s.Count("b.x"); c != 9 {
+		t.Errorf("replacement did not take: %d", c)
+	}
+	all := s.All()
+	if all[0].Name != "a.y" || all[1].Name != "b.x" {
+		t.Errorf("All not name-sorted: %+v", all)
+	}
+
+	u := NewSet().Counter("a.y", 2).Counter("b.x", 9) // different insertion order
+	if !s.Equal(u) {
+		t.Errorf("order-insensitive equality failed")
+	}
+	u.Gauge("c.z", 1)
+	if s.Equal(u) {
+		t.Errorf("sets of different length compare equal")
+	}
+
+	if _, ok := s.Count("a.missing"); ok {
+		t.Errorf("lookup of absent metric succeeded")
+	}
+	if v, ok := s.Value("a.y"); !ok || v != 2 {
+		t.Errorf("Value on counter: %v %v", v, ok)
+	}
+}
+
+// TestNonFiniteValuesDropped: NaN/Inf measurements become absent metrics.
+func TestNonFiniteValuesDropped(t *testing.T) {
+	s := NewSet()
+	s.Gauge("g.nan", math.NaN())
+	s.Gauge("g.inf", math.Inf(1))
+	s.Ratio("r.nan", math.NaN())
+	s.Gauge("g.ok", 1)
+	if s.Len() != 1 {
+		t.Fatalf("non-finite values not dropped: %+v", s.All())
+	}
+	// Ratios clamp float error at the boundaries instead of failing.
+	s.Ratio("r.hot", 1.0000000000000002)
+	if v, _ := s.Value("r.hot"); v != 1 {
+		t.Errorf("ratio not clamped: %v", v)
+	}
+}
+
+// TestDecodeRejections: wrong schema, unknown fields, bad kinds, duplicate
+// names, and out-of-range ratios all fail loudly.
+func TestDecodeRejections(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema":  `{"schema":"reno.metrics/v999","records":[]}`,
+		"no schema":     `{"records":[]}`,
+		"unknown field": `{"schema":"reno.metrics/v1","recordz":[]}`,
+		"bad kind":      `{"schema":"reno.metrics/v1","records":[{"metrics":[{"name":"x","kind":"histogram","value":1}]}]}`,
+		"unnamed":       `{"schema":"reno.metrics/v1","records":[{"metrics":[{"kind":"counter","value":1}]}]}`,
+		"dup name":      `{"schema":"reno.metrics/v1","records":[{"metrics":[{"name":"x","kind":"counter","value":1},{"name":"x","kind":"counter","value":2}]}]}`,
+		"float counter": `{"schema":"reno.metrics/v1","records":[{"metrics":[{"name":"x","kind":"counter","value":1.5}]}]}`,
+		"ratio range":   `{"schema":"reno.metrics/v1","records":[{"metrics":[{"name":"x","kind":"ratio","value":1.5}]}]}`,
+		"nil metrics":   `{"schema":"reno.metrics/v1","records":[{"labels":{"bench":"gzip"}}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Decode([]byte(doc)); err == nil {
+			t.Errorf("%s: decode accepted %s", name, doc)
+		}
+	}
+	ok := `{"schema":"reno.metrics/v1","records":[{"metrics":[{"name":"x","kind":"counter","value":1}]}]}`
+	if _, err := Decode([]byte(ok)); err != nil {
+		t.Errorf("minimal valid document rejected: %v", err)
+	}
+}
+
+// TestEncodeRejectsNonFiniteMetric: a hand-built Metric that bypassed the
+// Set constructors still cannot produce an invalid document.
+func TestEncodeRejectsNonFiniteMetric(t *testing.T) {
+	s := NewSet()
+	s.add(Metric{Name: "bad", Kind: Gauge, Value: math.NaN()})
+	rep := NewReport("test")
+	rep.Add(Record{Metrics: s})
+	var buf bytes.Buffer
+	err := rep.Encode(&buf)
+	if err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("expected non-finite encode error, got %v", err)
+	}
+}

@@ -21,6 +21,18 @@ func TestAllInternalPackagesHaveDocComments(t *testing.T) {
 	if len(dirs) < 16 {
 		t.Fatalf("expected at least 16 internal packages, found %d", len(dirs))
 	}
+	checkDocComments(t, dirs)
+}
+
+// TestPublicPackagesHaveDocComments holds the public API surface to the
+// same standard: the facade and metrics packages are the module's
+// documentation front door, so they must carry package comments (their
+// exported identifiers are additionally pinned by TestPublicAPISurface).
+func TestPublicPackagesHaveDocComments(t *testing.T) {
+	checkDocComments(t, publicPackages)
+}
+
+func checkDocComments(t *testing.T, dirs []string) {
 	for _, dir := range dirs {
 		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
 			continue

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"reno/metrics"
+)
+
+func testGrid() *Grid {
+	return &Grid{
+		Benches:  []string{"gzip", "gsm.de"},
+		Machines: []string{"4w"},
+		Configs:  []string{"BASE", "RENO"},
+		Scale:    0.3,
+		MaxInsts: 15_000,
+	}
+}
+
+// TestGridPlan: planning reports jobs and tags without running anything.
+func TestGridPlan(t *testing.T) {
+	plan, err := testGrid().Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Jobs != 4 || len(plan.Configurations) != 2 {
+		t.Fatalf("plan %+v, want 4 jobs over 2 configurations", plan)
+	}
+	if plan.Configurations[0] != "4w/BASE" || plan.Configurations[1] != "4w/RENO" {
+		t.Errorf("tags %v", plan.Configurations)
+	}
+	if _, err := (&Grid{Benches: []string{"nope"}}).Plan(); err == nil {
+		t.Errorf("unknown bench planned cleanly")
+	}
+}
+
+// TestRunGridStableByteIdentity is the facade form of the acceptance
+// criterion: a stable-mode sweep emits byte-identical envelopes across
+// worker counts, and the envelope decodes under the v1 schema.
+func TestRunGridStableByteIdentity(t *testing.T) {
+	encode := func(workers int) []byte {
+		gr, err := RunGrid(context.Background(), testGrid(), GridOptions{Workers: workers, Stable: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := gr.Summary(); s.Runs != 4 || s.Failed != 0 || s.Warnings != 0 {
+			t.Fatalf("summary %+v", s)
+		}
+		rep, err := gr.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one, eight := encode(1), encode(8)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("stable emission differs across worker counts:\n%s\n---\n%s", one, eight)
+	}
+
+	rep, err := metrics.Decode(one)
+	if err != nil {
+		t.Fatalf("sweep envelope invalid: %v", err)
+	}
+	if rep.Schema != metrics.SchemaV1 || len(rep.Records) != 4 {
+		t.Fatalf("envelope %s with %d records", rep.Schema, len(rep.Records))
+	}
+	if len(rep.Spec) == 0 {
+		t.Errorf("envelope does not embed the grid spec")
+	}
+	if n, ok := rep.Summary.Count(metrics.SweepRuns); !ok || n != 4 {
+		t.Errorf("summary sweep.runs = %d,%v", n, ok)
+	}
+	for i, rec := range rep.Records {
+		if rec.Attr(metrics.AttrRunHash) == "" || rec.Attr(metrics.AttrArchHash) == "" {
+			t.Errorf("record %d lacks hashes: %+v", i, rec.Attrs)
+		}
+		if c, ok := rec.Metrics.Count(metrics.PipelineInsts); !ok || c == 0 {
+			t.Errorf("record %d has no committed instructions", i)
+		}
+		if w, _ := rec.Metrics.Count(metrics.RunWallNS); w != 0 {
+			t.Errorf("record %d: stable mode leaked wall clock (%d)", i, w)
+		}
+	}
+}
+
+// TestRunGridProgressAndCancellation: the progress callback fires once per
+// run, and canceling the context still yields a well-formed partial report.
+func TestRunGridProgressAndCancellation(t *testing.T) {
+	var seen []Progress
+	gr, err := RunGrid(context.Background(), testGrid(), GridOptions{
+		Workers:  2,
+		Progress: func(p Progress) { seen = append(seen, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("progress fired %d times, want 4", len(seen))
+	}
+	for _, p := range seen {
+		if p.Total != 4 || p.Bench == "" || p.Tag == "" || p.RunHash == "" {
+			t.Errorf("incomplete progress %+v", p)
+		}
+	}
+	if warnings := gr.Audit(); len(warnings) != 0 {
+		t.Errorf("audit warnings on a clean grid: %v", warnings)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gr, err = RunGrid(ctx, testGrid(), GridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gr.Summary()
+	if s.Runs != 4 || s.Failed != 4 {
+		t.Fatalf("canceled sweep summary %+v, want 4 failed runs", s)
+	}
+	rep, err := gr.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatalf("canceled sweep emits an invalid envelope: %v", err)
+	}
+	dec, err := metrics.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range dec.Records {
+		if rec.Attr(metrics.AttrError) == "" {
+			t.Errorf("canceled record %d lacks an error attr", i)
+		}
+	}
+}
+
+// TestParseGrid: the renosweep JSON schema parses through the facade,
+// including version enforcement.
+func TestParseGrid(t *testing.T) {
+	g, err := ParseGrid([]byte(`{
+		"version": 2,
+		"benches": ["gzip"],
+		"machines": ["4w", {"base": "4w", "name": "big", "rob_size": 256}],
+		"renos": ["RENO"],
+		"max_insts": 10000,
+		"scale": 0.3
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := g.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Version != 2 || plan.Jobs != 2 {
+		t.Fatalf("plan %+v", plan)
+	}
+	if plan.Configurations[1] != "big/RENO" {
+		t.Errorf("inline machine tag %v", plan.Configurations)
+	}
+
+	// The exported fields are the source of truth after parsing: mutating
+	// them changes what runs.
+	g.Seeds = []int64{0, 7}
+	plan, err = g.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Jobs != 4 {
+		t.Errorf("mutated parsed grid planned %d jobs, want 4 (2 configs × 2 seeds)", plan.Jobs)
+	}
+
+	// Inline specs demand version 2; unknown fields fail loudly.
+	if _, err := ParseGrid([]byte(`{"benches":["gzip"],"machines":[{"base":"4w"}]}`)); err == nil {
+		t.Errorf("v1 grid with inline spec accepted")
+	}
+	if _, err := ParseGrid([]byte(`{"benchez":["gzip"]}`)); err == nil {
+		t.Errorf("unknown grid field accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+// Interval is one streaming progress snapshot delivered to an Observer:
+// cumulative counters plus rates over the interval since the previous
+// snapshot. Snapshots fire each time Options.ObserveEvery further
+// instructions have committed.
+type Interval struct {
+	Cycles uint64 // cumulative elapsed cycles
+	Insts  uint64 // cumulative committed instructions
+	IPC    float64
+
+	IntervalCycles uint64
+	IntervalInsts  uint64
+	IntervalIPC    float64
+
+	// ElimPct is the cumulative eliminated share of committed
+	// instructions (percent); IntervalElimPct covers this interval only.
+	ElimPct         float64
+	IntervalElimPct float64
+
+	// IQOcc and PregsInUse are interval averages of issue-queue occupancy
+	// and allocated physical registers.
+	IQOcc      float64
+	PregsInUse float64
+}
+
+// Observer receives interval snapshots during a run. Observation is
+// passive — it never perturbs simulation outcomes, so observed and
+// unobserved runs of the same program are cycle-identical — and
+// synchronous: ObserveInterval is called on the simulating goroutine, and a
+// slow observer slows the run, nothing else.
+type Observer interface {
+	ObserveInterval(Interval)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Interval)
+
+// ObserveInterval calls f.
+func (f ObserverFunc) ObserveInterval(iv Interval) { f(iv) }
