@@ -1,0 +1,86 @@
+// Command renoserve is the long-running sweep service: a daemon that
+// accepts declarative experiment grids over HTTP, schedules them on the
+// bounded sweep worker pool, serves previously computed grid cells from a
+// run-key result cache instead of re-simulating them, and streams per-run
+// progress as NDJSON. It is a thin flag parser over internal/service; the
+// API contract lives in docs/service.md.
+//
+//	renoserve -addr :8844
+//
+//	# submit the golden v2 grid, then watch it run
+//	curl -s -X POST --data-binary @internal/sweep/testdata/grid_v2.json \
+//	    localhost:8844/v1/sweeps
+//	curl -s localhost:8844/v1/sweeps/sw-000001/events   # NDJSON stream
+//	curl -s localhost:8844/v1/sweeps/sw-000001/results  # the envelope
+//
+// GET /v1/sweeps/{id}/results is byte-identical to `renosweep -stable` on
+// the same grid, and resubmitting an identical grid is served entirely
+// from cache. SIGINT/SIGTERM drain gracefully: intake stops, running
+// sweeps get -drain to finish, then in-flight runs are cancelled and
+// recorded with partial statistics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reno/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8844", "listen address")
+		workers = flag.Int("workers", 0, "per-sweep worker pool size (0 = GOMAXPROCS; a grid's own workers field wins)")
+		queue   = flag.Int("queue", 0, "max jobs queued behind the running ones (0 = 64)")
+		runners = flag.Int("runners", 0, "concurrently running sweeps (0 = 1)")
+		cache   = flag.Int("cache", 0, "max cached runs, evicted LRU (0 = 65536, negative = unbounded)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight runs are cancelled")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, Runners: *runners, CacheEntries: *cache})
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "renoserve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "renoserve: draining (budget %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Close(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "renoserve: drain budget exceeded, in-flight runs cancelled\n")
+	}
+	// Jobs are settled now, so open event streams have ended; give the
+	// HTTP server a short fresh window to flush remaining responses.
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := srv.Shutdown(hctx); err != nil {
+		srv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "renoserve: stopped")
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "renoserve: %v\n", err)
+	os.Exit(1)
+}

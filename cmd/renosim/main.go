@@ -52,17 +52,8 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("Benchmarks:")
-		for _, b := range sim.Benchmarks() {
-			fmt.Printf("  %-12s %s\n", b.Name, b.Desc)
-		}
-		fmt.Println("\nMachine base specs (extend with :p<N> :i<A>t<T> :s<N>, or inline JSON objects):")
-		for _, m := range sim.Machines() {
-			fmt.Printf("  %-12s %s\n", m.Name, m.Desc)
-		}
-		fmt.Println("\nRENO configs:")
-		for _, c := range sim.Configs() {
-			fmt.Printf("  %-12s %s\n", c.Name, c.Desc)
+		if err := sim.ListRegistered().WriteText(os.Stdout); err != nil {
+			fatalf("%v", err)
 		}
 		return
 	}

@@ -10,7 +10,7 @@
 //	renosweep -benches all -machines 4w,6w -renos BASE,RENO -o results.json
 //	renosweep -grid grid.json -csv results.csv -progress
 //	renosweep -validate grid.json      # parse + validate, run nothing
-//	renosweep -list                    # registered machine and RENO specs
+//	renosweep -list                    # registered benchmarks, machines, RENO configs
 //
 // Machine spec strings take colon-separated modifiers: "4w:p128" (128
 // physical registers), "4w:i2t3" (2 int ALUs, 3-wide issue), "4w:s2"
@@ -58,7 +58,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none; timed-out runs fail with partial stats)")
 		gridPath = flag.String("grid", "", "JSON grid spec file (overrides the grid axis flags)")
 		validate = flag.String("validate", "", "parse and validate this grid spec file, run nothing")
-		list     = flag.Bool("list", false, "list registered machine and RENO spec names, run nothing")
+		list     = flag.Bool("list", false, "list registered benchmarks, machine specs, and RENO configs, run nothing")
 		jsonOut  = flag.String("o", "-", "JSON output path (- = stdout)")
 		csvOut   = flag.String("csv", "", "also write CSV to this path")
 		stable   = flag.Bool("stable", false, "zero wall-clock fields for byte-identical output")
@@ -70,7 +70,9 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	if *list {
-		listRegistry(os.Stdout)
+		if err := sim.ListRegistered().WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if *validate != "" {
@@ -136,19 +138,6 @@ func main() {
 	}
 	if s.Failed > 0 || s.Warnings > 0 {
 		os.Exit(1)
-	}
-}
-
-// listRegistry prints the registered machine and RENO specs with their
-// one-line descriptions.
-func listRegistry(w io.Writer) {
-	fmt.Fprintln(w, "Machine base specs (extend with :p<N> :i<A>t<T> :s<N>, or inline JSON objects in v2 grids):")
-	for _, d := range sim.Machines() {
-		fmt.Fprintf(w, "  %-12s %s\n", d.Name, d.Desc)
-	}
-	fmt.Fprintln(w, "\nRENO configs:")
-	for _, d := range sim.Configs() {
-		fmt.Fprintf(w, "  %-12s %s\n", d.Name, d.Desc)
 	}
 }
 

@@ -128,7 +128,8 @@ func ExecuteContext(ctx context.Context, jobs []Job, opts Options, progress io.W
 	}
 	sopts := sweep.Options{Workers: opts.workers(), Scale: opts.Scale, MaxInsts: opts.MaxInsts, Timeout: opts.Timeout}
 	if progress != nil {
-		sopts.Progress = func(done, total int, r *sweep.Result) {
+		sopts.Progress = func(ri sweep.RunInfo) {
+			r := ri.Result
 			if r.Err != "" {
 				fmt.Fprintf(progress, "  %-10s %-14s ERROR %s\n", r.Bench, r.Tag(), r.Err)
 				return

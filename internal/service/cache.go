@@ -1,0 +1,111 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"reno/internal/sweep"
+)
+
+// DefaultCacheEntries is the cache bound used when Config.CacheEntries is
+// zero. At typical result sizes this is tens of megabytes — generous for
+// real grids, finite for a long-lived daemon.
+const DefaultCacheEntries = 65536
+
+// Cache is the in-memory result cache, addressed by stable run keys
+// (sweep.Job.Key): a hash over every input that determines a run's
+// deterministic outcome. Because simulation is deterministic, a key equal
+// to a previously executed run's key identifies a byte-identical stable
+// result record, so serving the cached *sweep.Result in its place is
+// observationally equivalent to re-simulating — which is exactly what the
+// cache-identity acceptance test pins. Only completed, successful runs are
+// cached: failures, timeouts, and cancellations carry wall-clock-dependent
+// partial state that must not be replayed as truth.
+//
+// The cache is bounded LRU (max entries; <= 0 means unbounded): each entry
+// pins its run's full pipeline result, and a long-lived daemon sweeping
+// ever-distinct grids must not grow without limit. Eviction is always
+// safe — it only costs re-simulation on the next submission.
+type Cache struct {
+	mu     sync.Mutex
+	max    int
+	m      map[string]*list.Element
+	lru    *list.List // front = most recently used
+	hits   uint64
+	misses uint64
+	evicts uint64
+}
+
+// cacheEntry is one LRU element.
+type cacheEntry struct {
+	key string
+	r   *sweep.Result
+}
+
+// NewCache returns an empty unbounded cache.
+func NewCache() *Cache { return NewCacheSize(0) }
+
+// NewCacheSize returns an empty cache bounded to max entries (<= 0 means
+// unbounded).
+func NewCacheSize(max int) *Cache {
+	return &Cache{max: max, m: map[string]*list.Element{}, lru: list.New()}
+}
+
+// Lookup returns the cached result for key (nil on miss) and counts the
+// outcome. Cached results are shared and must be treated as immutable;
+// emission paths already derive fresh metric sets per encoding.
+func (c *Cache) Lookup(key string) *sweep.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).r
+	}
+	c.misses++
+	return nil
+}
+
+// Put stores a completed successful run under its key, evicting the least
+// recently used entry when the bound is exceeded. Failed or partial runs
+// are ignored, as are nil results.
+func (c *Cache) Put(key string, r *sweep.Result) {
+	if r == nil || r.Err != "" || r.Pipeline == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).r = r
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, r: r})
+	if c.max > 0 && c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evicts++
+	}
+}
+
+// Len returns the number of cached runs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Evictions returns how many entries the LRU bound has displaced.
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicts
+}

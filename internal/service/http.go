@@ -1,0 +1,203 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"reno/sim"
+)
+
+// maxSpecBytes bounds a submitted grid spec; real grids are a few KB.
+const maxSpecBytes = 1 << 20
+
+// NewHandler returns the renoserve HTTP API over svc (see docs/service.md
+// for the full contract):
+//
+//	POST   /v1/sweeps              submit a grid (v1/v2 schema) → job status
+//	GET    /v1/sweeps              list jobs, submission order
+//	GET    /v1/sweeps/{id}         job status + cache-hit stats
+//	DELETE /v1/sweeps/{id}         cancel a queued/running job; delete a
+//	                               finished one
+//	GET    /v1/sweeps/{id}/results reno.metrics/v1 envelope (?stable=0 for
+//	                               wall-clock telemetry; default stable)
+//	GET    /v1/sweeps/{id}/events  NDJSON stream of per-run completions
+//	GET    /v1/registry            benchmarks, machines, RENO configs
+//	GET    /v1/healthz             liveness + scheduler/cache stats
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+			Stats
+		}{"ok", svc.Stats()})
+	})
+	mux.HandleFunc("GET /v1/registry", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sim.ListRegistered())
+	})
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(spec) > maxSpecBytes {
+			writeError(w, http.StatusRequestEntityTooLarge, errors.New("grid spec exceeds 1 MiB"))
+			return
+		}
+		j, err := svc.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest // spec problem, renosweep -validate wording
+			if errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/sweeps/"+j.ID())
+		writeJSON(w, http.StatusAccepted, j.Status())
+	})
+	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		jobs := svc.Jobs()
+		list := make([]Status, len(jobs))
+		for i, j := range jobs {
+			list[i] = j.Status()
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Sweeps []Status `json:"sweeps"`
+		}{list})
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown sweep "+r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		cancelled, err := svc.Cancel(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		if cancelled {
+			// Re-fetch under ok: a concurrent DELETE may have removed the
+			// record between our settle and this lookup.
+			if j, ok := svc.Job(id); ok {
+				writeJSON(w, http.StatusOK, j.Status())
+			} else {
+				writeJSON(w, http.StatusOK, struct {
+					ID      string `json:"id"`
+					Deleted bool   `json:"deleted"`
+				}{id, true})
+			}
+			return
+		}
+		// Already terminal: DELETE removes the record instead, reclaiming
+		// its results and event history (the run cache is unaffected).
+		removed, err := svc.Remove(id)
+		if err != nil {
+			// A concurrent DELETE got there first: the job is gone.
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		if !removed {
+			writeError(w, http.StatusConflict, errors.New("sweep is settling; retry"))
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			ID      string `json:"id"`
+			Deleted bool   `json:"deleted"`
+		}{id, true})
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown sweep "+r.PathValue("id")))
+			return
+		}
+		stable := true
+		if v := r.URL.Query().Get("stable"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, errors.New("stable must be a boolean"))
+				return
+			}
+			stable = b
+		}
+		rep, err := j.Results(stable)
+		if errors.Is(err, ErrNotFinished) {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// Encode writes the canonical envelope bytes — with stable, the
+		// exact bytes `renosweep -stable` emits for this grid.
+		rep.Encode(w)
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown sweep "+r.PathValue("id")))
+			return
+		}
+		streamEvents(w, r, j)
+	})
+	return mux
+}
+
+// streamEvents writes the job's event history as NDJSON and follows the
+// live stream until the job reaches a terminal state or the client goes
+// away. Each line is one service.Event; the final line is always the
+// terminal "state" event.
+func streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cursor := 0
+	for {
+		evs, next, terminal, updated := j.Events(cursor)
+		cursor = next
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeJSON emits v as an indented JSON body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError emits the uniform {"error": "..."} body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

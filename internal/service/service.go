@@ -1,0 +1,620 @@
+// Package service is the serving layer behind the renoserve daemon: a
+// long-running sweep service with a bounded job scheduler, an in-memory job
+// store, a run-key result cache, and streaming per-run progress.
+//
+// A submitted grid (the same JSON schema cmd/renosweep consumes, validated
+// with the same field-level errors) becomes a Job that moves through the
+// states queued → running → done/failed/cancelled. Jobs execute one sweep
+// at a time per runner on the internal/sweep worker pool; before anything
+// is simulated, every expanded run is looked up in the Cache by its stable
+// run key (sweep.Job.Key — a hash over all outcome-determining inputs), so
+// resubmitting a grid whose cells have already been computed serves them
+// from cache with zero new simulations. Per-run completions are recorded as
+// Events that subscribers stream (the daemon's NDJSON endpoint); jobs can
+// be cancelled individually, and Close drains the service gracefully on
+// shutdown — in-flight runs record partial results, exactly as a SIGINT'd
+// renosweep would.
+//
+// The HTTP surface over this package lives in http.go (NewHandler);
+// cmd/renoserve is a thin flag parser over both. See docs/service.md for
+// the API contract.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reno/internal/sweep"
+	"reno/metrics"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle: queued → running → one of the three terminal states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"      // every run succeeded, audit clean
+	StateFailed    State = "failed"    // ≥1 run failed or the audit warned
+	StateCancelled State = "cancelled" // cancelled by request or shutdown
+)
+
+// Terminal reports whether the state is final: the job will never run
+// again and its results (possibly partial) are available.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one entry of a job's progress stream, serialized as a line of
+// the daemon's NDJSON events endpoint. Type "run" records one completed
+// run; type "state" records a lifecycle transition.
+type Event struct {
+	Type string `json:"type"` // "run" or "state"
+
+	// Run-completion fields (Type "run").
+	Done      int     `json:"done,omitempty"`
+	Total     int     `json:"total,omitempty"`
+	Bench     string  `json:"bench,omitempty"`
+	Tag       string  `json:"tag,omitempty"` // "machine/config[@s<seed>]"
+	IPC       float64 `json:"ipc,omitempty"`
+	ElimTotal float64 `json:"elim_total,omitempty"`
+	RunHash   string  `json:"run_hash,omitempty"` // stable outcome hash
+	RunKey    string  `json:"run_key,omitempty"`  // stable cache identity
+	Cached    bool    `json:"cached,omitempty"`   // served from the cache
+	Err       string  `json:"error,omitempty"`    // non-empty: the run failed
+
+	// Lifecycle field (Type "state").
+	State State `json:"state,omitempty"`
+}
+
+// Status is a point-in-time job snapshot: identity, lifecycle state,
+// progress counters, and the cache-hit statistics the /v1/sweeps/{id}
+// endpoint reports. Timestamps are RFC 3339 ("" = not reached yet).
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Runs is the expanded grid size; Done counts completed runs
+	// (simulated or cache-served), Failed the completed runs with errors.
+	Runs   int `json:"runs"`
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+	// CacheHits counts runs served from the result cache; Simulated
+	// counts runs actually executed on the pipeline. For a finished job
+	// CacheHits + Simulated == Done.
+	CacheHits int `json:"cache_hits"`
+	Simulated int `json:"simulated"`
+	// AuditWarnings counts architectural-equivalence violations, known
+	// once the job finishes.
+	AuditWarnings int    `json:"audit_warnings"`
+	Created       string `json:"created"`
+	Started       string `json:"started,omitempty"`
+	Finished      string `json:"finished,omitempty"`
+}
+
+// Job is one submitted sweep: the parsed grid, its expansion, and the
+// job's mutable lifecycle. All methods are safe for concurrent use.
+type Job struct {
+	id      string
+	spec    []byte // submitted grid JSON, verbatim
+	grid    sweep.Grid
+	jobs    []sweep.Job
+	created time.Time
+
+	mu        sync.Mutex
+	update    chan struct{} // closed and replaced on every event/state change
+	state     State
+	cancel    context.CancelFunc // set while running
+	cancelled bool               // cancellation requested
+	started   time.Time
+	finished  time.Time
+	done      int
+	failed    int
+	cacheHits int
+	simulated int
+	warnings  int
+	results   []*sweep.Result // set once, when the sweep returns
+	events    []Event
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the submitted grid JSON, verbatim.
+func (j *Job) Spec() []byte { return j.spec }
+
+// Runs returns the expanded run count.
+func (j *Job) Runs() int { return len(j.jobs) }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ts := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	return Status{
+		ID:            j.id,
+		State:         j.state,
+		Runs:          len(j.jobs),
+		Done:          j.done,
+		Failed:        j.failed,
+		CacheHits:     j.cacheHits,
+		Simulated:     j.simulated,
+		AuditWarnings: j.warnings,
+		Created:       ts(j.created),
+		Started:       ts(j.started),
+		Finished:      ts(j.finished),
+	}
+}
+
+// Events returns the events recorded after cursor from (0 = from the
+// beginning), the new cursor, whether the job has reached a terminal state,
+// and a channel that is closed on the next change — the subscription
+// primitive behind the streaming endpoint: emit the batch, and if not
+// terminal, wait on the channel (or the client's context) and call again.
+func (j *Job) Events(from int) (evs []Event, next int, terminal bool, updated <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(j.events) {
+		from = len(j.events)
+	}
+	evs = append(evs, j.events[from:]...)
+	return evs, len(j.events), j.state.Terminal(), j.update
+}
+
+// ErrNotFinished is returned by Results while the job is still queued or
+// running.
+var ErrNotFinished = errors.New("job has not finished (results exist once the state is done, failed, or cancelled)")
+
+// Results renders the job's outcome as the unified reno.metrics/v1
+// envelope — for a cancelled job, the partial envelope covering whatever
+// completed. With stable, wall-clock metrics are zeroed and the envelope is
+// byte-identical to `renosweep -stable` output for the same grid (the
+// envelope is stamped with tool "renosweep" for exactly that reason: the
+// document is the same artifact the CLI would produce, diffable
+// byte-for-byte against it).
+func (j *Job) Results(stable bool) (*metrics.Report, error) {
+	j.mu.Lock()
+	results := j.results
+	j.mu.Unlock()
+	if results == nil {
+		return nil, ErrNotFinished
+	}
+	rep, err := sweep.NewReport(j.grid, results).MetricsReport(sweep.EmitOptions{Deterministic: stable})
+	if err != nil {
+		return nil, err
+	}
+	rep.Tool = "renosweep"
+	return rep, nil
+}
+
+// publishLocked appends an event and wakes subscribers. Callers hold j.mu.
+func (j *Job) publishLocked(ev Event) {
+	j.events = append(j.events, ev)
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+// setStateLocked transitions the lifecycle state and records it as an
+// event. Callers hold j.mu.
+func (j *Job) setStateLocked(s State) {
+	j.state = s
+	j.publishLocked(Event{Type: "state", State: s})
+}
+
+// begin moves a queued job to running. It returns false when the job was
+// cancelled while still queued (the scheduler then skips it).
+func (j *Job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.cancel = cancel
+	j.started = time.Now()
+	j.setStateLocked(StateRunning)
+	return true
+}
+
+// onRun records one completed run (the sweep pool's Progress hook).
+func (j *Job) onRun(ri sweep.RunInfo) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done = ri.Done
+	r := ri.Result
+	if r.Err != "" {
+		j.failed++
+	}
+	if ri.Cached {
+		j.cacheHits++
+	} else {
+		j.simulated++
+	}
+	j.publishLocked(Event{
+		Type:  "run",
+		Done:  ri.Done,
+		Total: ri.Total,
+		Bench: r.Bench,
+		Tag:   r.Tag(),
+		IPC:   r.IPC, ElimTotal: r.ElimTotal,
+		RunHash: r.Hash, RunKey: ri.Key,
+		Cached: ri.Cached,
+		Err:    r.Err,
+	})
+}
+
+// complete records the sweep's results and settles the terminal state:
+// cancelled when cancellation (or shutdown) interrupted it, failed when any
+// run failed or the architectural-equivalence audit warned, done otherwise.
+func (j *Job) complete(results []*sweep.Result, interrupted bool) {
+	warnings := len(sweep.Audit(results))
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results = results
+	j.warnings = warnings
+	j.failed = failed
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case interrupted || j.cancelled:
+		j.setStateLocked(StateCancelled)
+	case failed > 0 || warnings > 0:
+		j.setStateLocked(StateFailed)
+	default:
+		j.setStateLocked(StateDone)
+	}
+}
+
+// Config sizes a Service.
+type Config struct {
+	// Workers is the per-sweep pool width (0 = GOMAXPROCS). A grid's own
+	// "workers" field, when set, takes precedence for that job.
+	Workers int
+	// QueueDepth bounds how many jobs may wait behind the running ones
+	// before Submit returns ErrQueueFull (0 = 64).
+	QueueDepth int
+	// Runners is how many sweeps execute concurrently (0 = 1; each sweep
+	// already parallelizes internally across its pool).
+	Runners int
+	// CacheEntries bounds the LRU result cache (0 = DefaultCacheEntries,
+	// < 0 = unbounded). Evictions only cost re-simulation.
+	CacheEntries int
+}
+
+func (c Config) cacheEntries() int {
+	if c.CacheEntries == 0 {
+		return DefaultCacheEntries
+	}
+	return c.CacheEntries
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+func (c Config) runners() int {
+	if c.Runners > 0 {
+		return c.Runners
+	}
+	return 1
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Service is the sweep service: job store, scheduler, and result cache.
+// Create one with New; it accepts jobs until Close.
+type Service struct {
+	cfg   Config
+	cache *Cache
+	ctx   context.Context    // base context of every sweep
+	stop  context.CancelFunc // cancels in-flight sweeps on forced drain
+	wg    sync.WaitGroup
+
+	simulated atomic.Uint64 // pipeline runs actually executed, lifetime
+
+	mu     sync.Mutex
+	wake   *sync.Cond // signals pending/closed changes to the runners
+	closed bool
+	seq    int
+	jobs   map[string]*Job
+	order  []string
+	// pending is the FIFO of jobs waiting for a runner. A queued job that
+	// is cancelled is removed immediately, so dead jobs never hold queue
+	// capacity (Submit accounts against len(pending), exactly).
+	pending []*Job
+}
+
+// Submission and lifecycle errors. HTTP maps both to 503; everything else
+// Submit returns is a validation error (400).
+var (
+	ErrClosed    = errors.New("service is draining and no longer accepts jobs")
+	ErrQueueFull = errors.New("job queue is full")
+)
+
+// New starts a Service with cfg's scheduler bounds and an empty cache.
+func New(cfg Config) *Service {
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:   cfg,
+		cache: NewCacheSize(cfg.cacheEntries()),
+		ctx:   ctx,
+		stop:  stop,
+		jobs:  map[string]*Job{},
+	}
+	s.wake = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.runners(); i++ {
+		s.wg.Add(1)
+		go s.runLoop()
+	}
+	return s
+}
+
+// runLoop is one runner: it pops pending jobs in FIFO order and executes
+// them until the service is closed and the queue is drained.
+func (s *Service) runLoop() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for len(s.pending) == 0 && !s.closed {
+			s.wake.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
+		s.run(j)
+		s.mu.Lock()
+	}
+}
+
+// Cache returns the service's result cache.
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Simulated returns the lifetime count of runs actually executed on the
+// pipeline (cache hits excluded) — the counter the cache acceptance test
+// pins at zero for a resubmitted grid.
+func (s *Service) Simulated() uint64 { return s.simulated.Load() }
+
+// Submit parses, validates, and expands a grid spec (the renosweep JSON
+// schema) and enqueues it as a new job. Spec problems are reported with the
+// same field-level errors as `renosweep -validate`, before the job is
+// created — a job that enqueues will not fail on a spec error. ErrClosed
+// and ErrQueueFull report scheduler, not spec, conditions.
+func (s *Service) Submit(spec []byte) (*Job, error) {
+	grid, err := sweep.ParseGridJSON(spec)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := grid.Expand()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if len(s.pending) >= s.cfg.queueDepth() {
+		return nil, ErrQueueFull
+	}
+	s.seq++
+	j := &Job{
+		id:      fmt.Sprintf("sw-%06d", s.seq),
+		spec:    append([]byte(nil), spec...),
+		grid:    grid,
+		jobs:    jobs,
+		created: time.Now(),
+		update:  make(chan struct{}),
+		state:   StateQueued,
+	}
+	j.events = append(j.events, Event{Type: "state", State: StateQueued})
+	s.pending = append(s.pending, j)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.wake.Signal()
+	return j, nil
+}
+
+// Job looks a job up by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id]
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job: a queued job is settled as
+// cancelled immediately (and its queue slot freed); a running job's sweep
+// is interrupted (in-flight runs record partial statistics) and settles as
+// cancelled when the pool returns. Cancelling a terminal job reports false.
+func (s *Service) Cancel(id string) (bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if ok {
+		// Unqueue first, so a runner cannot pick the job up between the
+		// state check below and its settlement.
+		for i, p := range s.pending {
+			if p == j {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("unknown job %q", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == StateQueued:
+		j.cancelled = true
+		j.finished = time.Now()
+		j.results = []*sweep.Result{} // non-nil: an (empty) envelope exists
+		j.setStateLocked(StateCancelled)
+		return true, nil
+	case j.state == StateRunning:
+		j.cancelled = true
+		j.cancel()
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// Remove deletes a terminal job from the store, reclaiming its results and
+// event history (the result cache is unaffected — resubmitting the job's
+// grid still serves from cache). It reports false for a job that is still
+// queued or running; cancel it first.
+func (s *Service) Remove(id string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false, fmt.Errorf("unknown job %q", id)
+	}
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if !terminal {
+		return false, nil
+	}
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true, nil
+}
+
+// run executes one job's sweep on the worker pool, with the cache seam
+// wired in.
+func (s *Service) run(j *Job) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	if !j.begin(cancel) {
+		return // cancelled while queued
+	}
+	opts := j.grid.Options()
+	if opts.Workers <= 0 {
+		opts.Workers = s.cfg.workers()
+	}
+	opts.Lookup = func(key string, _ sweep.Job) *sweep.Result {
+		return s.cache.Lookup(key)
+	}
+	opts.Progress = func(ri sweep.RunInfo) {
+		if !ri.Cached {
+			s.simulated.Add(1)
+			s.cache.Put(ri.Key, ri.Result)
+		}
+		j.onRun(ri)
+	}
+	results := sweep.RunContext(ctx, j.jobs, opts)
+	j.complete(results, ctx.Err() != nil)
+}
+
+// Stats aggregates service health for the /v1/healthz endpoint.
+type Stats struct {
+	Jobs           int    `json:"jobs"`
+	Queued         int    `json:"queued"`
+	Running        int    `json:"running"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	Simulated      uint64 `json:"simulated"`
+	Draining       bool   `json:"draining,omitempty"`
+}
+
+// Stats snapshots the service.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	st := Stats{Jobs: len(jobs), Queued: len(s.pending), Draining: s.closed}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		if j.Status().State == StateRunning {
+			st.Running++
+		}
+	}
+	st.CacheEntries = s.cache.Len()
+	st.CacheHits, st.CacheMisses = s.cache.Stats()
+	st.CacheEvictions = s.cache.Evictions()
+	st.Simulated = s.simulated.Load()
+	return st
+}
+
+// Close drains the service: intake stops immediately (Submit returns
+// ErrClosed), and Close waits for queued and running jobs to finish. When
+// ctx expires first, in-flight sweeps are cancelled — their jobs settle as
+// cancelled with partial results, exactly like a SIGINT'd renosweep — and
+// Close still waits for the runners to exit before returning ctx's error.
+// Close is idempotent.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.wake.Broadcast()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.stop()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,239 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"reno/internal/pipeline"
+	"reno/internal/sweep"
+)
+
+// closeNow drains a test service with a generous budget.
+func closeNow(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestSubmitValidation: spec problems fail at submission, with the same
+// field-level wording the CLI's -validate path produces, and never create a
+// job.
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{})
+	defer closeNow(t, s)
+
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"bad json", `{`, "grid spec"},
+		{"unknown field", `{"benches":["gzip"],"machenes":["4w"]}`, "machenes"},
+		{"unknown bench", `{"benches":["gzp"]}`, `unknown benchmark "gzp"`},
+		{"inline spec in v1", `{"benches":["gzip"],"machines":[{"base":"4w"}]}`, `"version": 2`},
+		{"bad machine field", `{"version":2,"benches":["gzip"],"machines":[{"base":"4w","rob_size":-1}]}`, "rob_size"},
+	}
+	for _, c := range cases {
+		if _, err := s.Submit([]byte(c.spec)); err == nil {
+			t.Errorf("%s: submission accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	if n := len(s.Jobs()); n != 0 {
+		t.Errorf("rejected submissions created %d jobs", n)
+	}
+}
+
+// TestSubmitAfterCloseRefused: a draining service accepts nothing new.
+func TestSubmitAfterCloseRefused(t *testing.T) {
+	s := New(Config{})
+	closeNow(t, s)
+	if _, err := s.Submit([]byte(`{"benches":["gzip"],"max_insts":1000,"scale":0.1}`)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: err %v, want ErrClosed", err)
+	}
+}
+
+// TestQueueBoundsAndQueuedCancel: the queue depth bounds intake, and a
+// queued job cancels instantly with an empty (but valid) result set.
+func TestQueueBoundsAndQueuedCancel(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, Runners: 1})
+	defer closeNow(t, s)
+
+	// j1 is big enough to hold the single runner while we fill the queue.
+	big := []byte(`{"benches":["gzip","gsm.de"],"renos":["BASE","RENO"],"seeds":[0,1,2],"max_insts":300000}`)
+	small := []byte(`{"benches":["gzip"],"renos":["BASE"],"max_insts":1000,"scale":0.1}`)
+	j1, err := s.Submit(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the runner owns j1, so the queue slot is free for j2.
+	waitState(t, j1, StateRunning)
+	j2, err := s.Submit(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j1 occupies the only runner, j2 the only queue slot: a third job
+	// must be refused.
+	if _, err := s.Submit(small); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("submit into a full queue: err %v, want ErrQueueFull", err)
+	}
+
+	if ok, err := s.Cancel(j2.ID()); err != nil || !ok {
+		t.Fatalf("cancel queued job: ok=%v err=%v", ok, err)
+	}
+	if st := j2.Status(); st.State != StateCancelled {
+		t.Fatalf("queued job state %s after cancel, want cancelled", st.State)
+	}
+	if rep, err := j2.Results(true); err != nil {
+		t.Fatalf("cancelled-while-queued job has no results: %v", err)
+	} else if len(rep.Records) != 0 {
+		t.Errorf("never-started job has %d records, want 0", len(rep.Records))
+	}
+	// Cancelling a queued job frees its queue slot immediately.
+	j4, err := s.Submit(small)
+	if err != nil {
+		t.Fatalf("submit after queued-cancel still refused: %v", err)
+	}
+	if ok, err := s.Cancel(j4.ID()); err != nil || !ok {
+		t.Fatalf("cancel refilled slot: ok=%v err=%v", ok, err)
+	}
+
+	// A running job cannot be removed, only cancelled.
+	if removed, err := s.Remove(j1.ID()); err != nil || removed {
+		t.Fatalf("remove running job: removed=%v err=%v", removed, err)
+	}
+	if ok, err := s.Cancel(j1.ID()); err != nil || !ok {
+		t.Fatalf("cancel running job: ok=%v err=%v", ok, err)
+	}
+	waitState(t, j1, StateCancelled)
+	if ok, _ := s.Cancel(j1.ID()); ok {
+		t.Error("cancelling a terminal job reported true")
+	}
+	if _, err := s.Cancel("sw-999999"); err == nil {
+		t.Error("cancelling an unknown job did not error")
+	}
+
+	// Terminal jobs can be removed, reclaiming the store entry.
+	before := len(s.Jobs())
+	if removed, err := s.Remove(j1.ID()); err != nil || !removed {
+		t.Fatalf("remove terminal job: removed=%v err=%v", removed, err)
+	}
+	if _, ok := s.Job(j1.ID()); ok || len(s.Jobs()) != before-1 {
+		t.Error("removed job still present in the store")
+	}
+}
+
+// waitState polls until the job reaches want (or fails the test).
+func waitState(t *testing.T, j *Job, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := j.Status()
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s state %s, want %s", st.ID, st.State, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCacheOnlyKeepsCompleteRuns: failures and partials never enter the
+// cache.
+func TestCacheOnlyKeepsCompleteRuns(t *testing.T) {
+	c := NewCache()
+	c.Put("k1", nil)
+	c.Put("k2", &sweep.Result{Err: "boom"})
+	c.Put("k3", &sweep.Result{}) // no Pipeline: partial
+	if c.Len() != 0 {
+		t.Fatalf("cache kept %d incomplete runs", c.Len())
+	}
+	if c.Lookup("k2") != nil {
+		t.Error("lookup returned an uncached failure")
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 1 {
+		t.Errorf("stats (%d, %d), want (0, 1)", hits, misses)
+	}
+}
+
+// TestCacheLRUEviction: the bound displaces the least recently used entry,
+// and lookups refresh recency.
+func TestCacheLRUEviction(t *testing.T) {
+	ok := func(key string) *sweep.Result {
+		return &sweep.Result{Bench: key, Pipeline: &pipeline.Result{}}
+	}
+	c := NewCacheSize(2)
+	c.Put("a", ok("a"))
+	c.Put("b", ok("b"))
+	if c.Lookup("a") == nil { // refresh "a": "b" is now the LRU victim
+		t.Fatal("warm entry missing")
+	}
+	c.Put("c", ok("c"))
+	if c.Len() != 2 || c.Evictions() != 1 {
+		t.Fatalf("len %d evictions %d, want 2 and 1", c.Len(), c.Evictions())
+	}
+	if c.Lookup("b") != nil {
+		t.Error("LRU entry survived eviction")
+	}
+	if c.Lookup("a") == nil || c.Lookup("c") == nil {
+		t.Error("recently used entries were evicted")
+	}
+	// Re-putting an existing key refreshes in place, never evicts.
+	c.Put("a", ok("a2"))
+	if c.Len() != 2 || c.Evictions() != 1 {
+		t.Errorf("refresh changed len/evictions: %d/%d", c.Len(), c.Evictions())
+	}
+	if got := c.Lookup("a"); got == nil || got.Bench != "a2" {
+		t.Error("refresh did not replace the entry")
+	}
+}
+
+// TestGracefulDrainCompletesQueuedJobs: Close with headroom lets queued
+// work finish rather than cancelling it.
+func TestGracefulDrainCompletesQueuedJobs(t *testing.T) {
+	s := New(Config{Workers: 2})
+	spec := []byte(`{"benches":["gzip"],"renos":["BASE"],"max_insts":5000,"scale":0.2}`)
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeNow(t, s)
+	if st := j.Status(); st.State != StateDone {
+		t.Fatalf("drained job state %s, want done", st.State)
+	}
+}
+
+// TestForcedDrainCancelsInFlight: an expired drain budget cancels the
+// running sweep, which still settles with partial results.
+func TestForcedDrainCancelsInFlight(t *testing.T) {
+	s := New(Config{Workers: 1})
+	spec := []byte(`{"benches":["gzip","gsm.de"],"renos":["BASE","RENO"],"seeds":[0,1,2],"max_insts":300000}`)
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced close returned %v, want deadline exceeded", err)
+	}
+	st := j.Status()
+	if st.State != StateCancelled {
+		t.Fatalf("state %s after forced drain, want cancelled", st.State)
+	}
+	rep, err := j.Results(true)
+	if err != nil {
+		t.Fatalf("no partial results after forced drain: %v", err)
+	}
+	if len(rep.Records) != st.Runs {
+		t.Errorf("partial envelope has %d records, want one per run (%d)", len(rep.Records), st.Runs)
+	}
+}

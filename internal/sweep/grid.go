@@ -280,7 +280,10 @@ func (g Grid) Validate() error {
 
 // ParseGridJSON decodes a Grid from its JSON form, rejecting unknown fields
 // so spec typos fail loudly instead of silently defaulting, and enforcing
-// the version rules (inline specs are a version-2 feature).
+// the version rules (inline specs are a version-2 feature). An absent
+// "version" is normalized to 1 — here, once, so every consumer (the CLI
+// path through sim.ParseGrid and the renoserve service) embeds the same
+// spec bytes in its results envelope.
 func ParseGridJSON(data []byte) (Grid, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -290,6 +293,9 @@ func ParseGridJSON(data []byte) (Grid, error) {
 	}
 	if err := g.Validate(); err != nil {
 		return Grid{}, err
+	}
+	if g.Version == 0 {
+		g.Version = 1
 	}
 	return g, nil
 }

@@ -17,6 +17,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -53,6 +54,38 @@ func (j Job) Tag() string {
 		tag += "@s" + strconv.FormatInt(j.Seed, 10)
 	}
 	return tag
+}
+
+// Key returns the run's stable cache identity: an FNV-1a 64 hash over every
+// input that determines the run's deterministic outcome — the workload
+// identity (benchmark name, suite, seed offset, scale), the timed
+// instruction budget, both configuration tags, and the fully resolved
+// machine configuration in its canonical JSON form. Two jobs with equal
+// keys produce byte-identical stable result records, which is what makes
+// the key safe as a result-cache address (internal/service uses it so
+// resubmitted grid cells are served instead of re-simulated). Scheduling
+// knobs (Workers, Timeout, hooks) are deliberately excluded: they never
+// change a successful run's outcome. Hand-built Profiles must carry
+// distinct Names — the profile's generator parameters are identified by
+// name, not hashed field-by-field.
+func (j Job) Key(opts Options) string {
+	h := fnv.New64a()
+	write := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	write(j.Profile.Name, j.Profile.Suite, j.Machine, j.Config)
+	write(strconv.FormatInt(j.Seed, 10),
+		strconv.FormatFloat(scaleOf(opts), 'g', -1, 64),
+		strconv.FormatUint(opts.MaxInsts, 10))
+	if cfg, err := json.Marshal(j.Cfg); err == nil {
+		h.Write(cfg)
+	} else {
+		write("cfg-error", err.Error())
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Result is one completed run. The scalar fields form the stable
@@ -115,6 +148,22 @@ func (r *Result) Tag() string {
 // ArchHashU64 returns the raw architectural state hash.
 func (r *Result) ArchHashU64() uint64 { return r.archHash }
 
+// RunInfo describes one completed run to the Progress hook: pool progress
+// counters, the run's position and stable cache key, whether it was served
+// from Options.Lookup instead of simulated, and the result itself.
+type RunInfo struct {
+	Done  int // completed runs including this one
+	Total int // total runs in the sweep
+	Index int // the run's job index (its position in the results slice)
+	// Key is the run's stable cache identity (Job.Key under this sweep's
+	// options).
+	Key string
+	// Cached reports that the run was served by Options.Lookup rather
+	// than simulated.
+	Cached bool
+	Result *Result
+}
+
 // Options controls pool execution.
 type Options struct {
 	// Workers bounds pool concurrency; <= 0 means runtime.GOMAXPROCS(0).
@@ -129,9 +178,17 @@ type Options struct {
 	// deterministic across machines.
 	Timeout time.Duration
 	// Progress, when non-nil, is called once per completed run, serialized
-	// by the pool (no locking needed in the callback). done counts
-	// completed runs including this one; total is len(jobs).
-	Progress func(done, total int, r *Result)
+	// by the pool (no locking needed in the callback).
+	Progress func(RunInfo)
+	// Lookup, when non-nil, is consulted once per job — with the job's
+	// stable cache key — before the pool builds or simulates anything;
+	// returning a non-nil Result serves the run from cache. The caller
+	// must only return results recorded under the same key (same
+	// benchmark, seed, scale, budget, and resolved configuration): the
+	// pool trusts the hit and re-verifies nothing. Lookup is called
+	// serially during sweep setup, so it needs no internal locking against
+	// the pool.
+	Lookup func(key string, j Job) *Result
 }
 
 func (o Options) workers() int {
@@ -181,11 +238,38 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) []*Result {
 		return results
 	}
 
+	// Resolve cache keys and hits up front, serially: hooks see each key
+	// exactly once, and fully cached (bench, seed) groups skip the
+	// workload build below entirely.
+	var keys []string
+	if opts.Progress != nil || opts.Lookup != nil {
+		keys = make([]string, len(jobs))
+		for i, j := range jobs {
+			keys[i] = j.Key(opts)
+		}
+	}
+	var cached []*Result
+	if opts.Lookup != nil {
+		cached = make([]*Result, len(jobs))
+		for i, j := range jobs {
+			cached[i] = opts.Lookup(keys[i], j)
+		}
+	}
+	fromCache := func(i int) *Result {
+		if cached == nil {
+			return nil
+		}
+		return cached[i]
+	}
+
 	// Build each distinct (bench, seed) workload once, before the pool
 	// starts: builds are cheap relative to simulation, and a serial
 	// prebuild keeps the build cache free of locking entirely.
 	builds := map[string]*built{}
-	for _, j := range jobs {
+	for i, j := range jobs {
+		if fromCache(i) != nil {
+			continue
+		}
 		k := buildKey(j.Profile, j.Seed)
 		if _, ok := builds[k]; ok {
 			continue
@@ -219,12 +303,15 @@ func RunContext(ctx context.Context, jobs []Job, opts Options) []*Result {
 			defer wg.Done()
 			for sp := range spans {
 				for i := sp.lo; i < sp.hi; i++ {
-					r := runOne(ctx, jobs[i], builds[buildKey(jobs[i].Profile, jobs[i].Seed)], opts)
+					r, hit := fromCache(i), true
+					if r == nil {
+						r, hit = runOne(ctx, jobs[i], builds[buildKey(jobs[i].Profile, jobs[i].Seed)], opts), false
+					}
 					results[i] = r
 					mu.Lock()
 					done++
 					if opts.Progress != nil {
-						opts.Progress(done, len(jobs), r)
+						opts.Progress(RunInfo{Done: done, Total: len(jobs), Index: i, Key: keys[i], Cached: hit, Result: r})
 					}
 					mu.Unlock()
 				}

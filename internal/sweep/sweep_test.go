@@ -154,10 +154,10 @@ func TestRunManyJobsBounded(t *testing.T) {
 	}
 	var events int
 	results := Run(many, Options{Workers: 3, Scale: 0.05, MaxInsts: 500,
-		Progress: func(done, total int, r *Result) {
+		Progress: func(ri RunInfo) {
 			events++
-			if total != len(many) {
-				t.Errorf("progress total %d, want %d", total, len(many))
+			if ri.Total != len(many) {
+				t.Errorf("progress total %d, want %d", ri.Total, len(many))
 			}
 		}})
 	if events != len(many) {
@@ -192,7 +192,7 @@ func TestRunContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	opts := Options{Workers: 2, Scale: 0.3}
 	first := true
-	opts.Progress = func(done, total int, r *Result) {
+	opts.Progress = func(ri RunInfo) {
 		if first {
 			first = false
 			cancel()

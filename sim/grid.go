@@ -55,9 +55,10 @@ func ParseGrid(data []byte) (*Grid, error) {
 		Seeds:    sg.Seeds,
 		Scale:    sg.Scale,
 		MaxInsts: sg.MaxInsts,
-		// An absent file version means schema v1; normalize here so Plan
-		// reports what the file meant, not the constructed-grid default.
-		version: max(sg.Version, 1),
+		// ParseGridJSON normalizes an absent file version to schema v1, so
+		// Plan reports what the file meant, not the constructed-grid
+		// default.
+		version: sg.Version,
 		workers: sg.Workers,
 	}, nil
 }
@@ -158,7 +159,13 @@ type Progress struct {
 	IPC       float64
 	ElimTotal float64
 	RunHash   string
-	Err       string // non-empty when the run failed
+	// RunKey is the run's stable cache identity — a hash over the inputs
+	// that determine its deterministic outcome, the single-run counterpart
+	// of Program.RunKey. Unlike RunHash (which hashes the outcome), RunKey
+	// is known before a run executes, which is what makes it usable as a
+	// result-cache address (the renoserve daemon caches on it).
+	RunKey string
+	Err    string // non-empty when the run failed
 }
 
 // GridOptions controls pool execution and emission determinism.
@@ -196,12 +203,13 @@ func RunGrid(ctx context.Context, g *Grid, opts GridOptions) (*GridResult, error
 	sopts.Timeout = opts.Timeout
 	if opts.Progress != nil {
 		cb := opts.Progress
-		sopts.Progress = func(done, total int, r *sweep.Result) {
+		sopts.Progress = func(ri sweep.RunInfo) {
+			r := ri.Result
 			cb(Progress{
-				Done: done, Total: total,
+				Done: ri.Done, Total: ri.Total,
 				Bench: r.Bench, Tag: r.Tag(),
 				IPC: r.IPC, ElimTotal: r.ElimTotal,
-				RunHash: r.Hash, Err: r.Err,
+				RunHash: r.Hash, RunKey: ri.Key, Err: r.Err,
 			})
 		}
 	}

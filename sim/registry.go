@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Registry is the complete discovery listing: everything a Spec or Grid may
+// reference by name, with one-line descriptions. It is JSON-serializable —
+// the renoserve daemon serves it verbatim from /v1/registry — and renders
+// as the human-readable listing behind renosim -list and renosweep -list.
+type Registry struct {
+	Benchmarks []Info `json:"benchmarks"`
+	Machines   []Info `json:"machines"`
+	Configs    []Info `json:"configs"`
+}
+
+// ListRegistered collects the benchmark, machine, and RENO config
+// registries into one Registry. It is the single enumeration the CLI -list
+// flags and the renoserve discovery endpoint all share.
+func ListRegistered() Registry {
+	return Registry{Benchmarks: Benchmarks(), Machines: Machines(), Configs: Configs()}
+}
+
+// WriteText renders the registry as the aligned three-section listing the
+// -list flags print.
+func (r Registry) WriteText(w io.Writer) error {
+	section := func(header string, entries []Info) error {
+		if _, err := fmt.Fprintln(w, header); err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if _, err := fmt.Fprintf(w, "  %-12s %s\n", e.Name, e.Desc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := section("Benchmarks:", r.Benchmarks); err != nil {
+		return err
+	}
+	if err := section("\nMachine base specs (extend with :p<N> :i<A>t<T> :s<N>, or inline JSON objects):", r.Machines); err != nil {
+		return err
+	}
+	return section("\nRENO configs:", r.Configs)
+}

@@ -1,0 +1,134 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"reno/sim"
+)
+
+// TestListRegistered pins the discovery listing: all three registries are
+// populated, JSON-serializable under the documented keys, and consistent
+// with the per-axis enumerations.
+func TestListRegistered(t *testing.T) {
+	r := sim.ListRegistered()
+	if len(r.Benchmarks) == 0 || len(r.Machines) == 0 || len(r.Configs) == 0 {
+		t.Fatalf("empty registry section: %+v", r)
+	}
+	if len(r.Benchmarks) != len(sim.Benchmarks()) || len(r.Configs) != len(sim.Configs()) {
+		t.Error("ListRegistered disagrees with the per-axis enumerations")
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"benchmarks"`, `"machines"`, `"configs"`, `"name"`, `"desc"`} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("registry JSON lacks %s: %s", key, data[:120])
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"Benchmarks:", "Machine base specs", "RENO configs:", "gzip", "4w", "RENO"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WriteText output lacks %q", want)
+		}
+	}
+}
+
+// TestRunKeyIdentity pins the public run-key contract: stable for equal
+// specs, split by every outcome-determining input, and identical to the key
+// the sweep pool reports for the matching grid cell.
+func TestRunKeyIdentity(t *testing.T) {
+	load := func(spec sim.Spec) *sim.Program {
+		t.Helper()
+		p, err := sim.Load(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := sim.Spec{Bench: "gzip", Machine: "4w", Config: "RENO", Scale: 0.3}
+	opts := sim.Options{MaxInsts: 20000}
+
+	if a, b := load(base).RunKey(opts), load(base).RunKey(opts); a != b {
+		t.Fatalf("key not stable across loads: %s vs %s", a, b)
+	}
+	variants := []struct {
+		name string
+		spec sim.Spec
+		opts sim.Options
+	}{
+		{"bench", sim.Spec{Bench: "gap", Machine: "4w", Config: "RENO", Scale: 0.3}, opts},
+		{"machine", sim.Spec{Bench: "gzip", Machine: "4w:p128", Config: "RENO", Scale: 0.3}, opts},
+		{"config", sim.Spec{Bench: "gzip", Machine: "4w", Config: "BASE", Scale: 0.3}, opts},
+		{"seed", sim.Spec{Bench: "gzip", Machine: "4w", Config: "RENO", Scale: 0.3, Seed: 1}, opts},
+		{"scale", sim.Spec{Bench: "gzip", Machine: "4w", Config: "RENO", Scale: 0.5}, opts},
+		{"budget", base, sim.Options{MaxInsts: 10000}},
+		{"cycle budget", base, sim.Options{MaxInsts: 20000, MaxCycles: 1000}},
+		{"cpa attachment", base, sim.Options{MaxInsts: 20000, CPAChunk: 50000}},
+	}
+	ref := load(base).RunKey(opts)
+	for _, v := range variants {
+		if got := load(v.spec).RunKey(v.opts); got == ref {
+			t.Errorf("%s change did not change the key", v.name)
+		}
+	}
+	// Observation is passive and must not split the key.
+	observed := load(base).RunKey(sim.Options{MaxInsts: 20000,
+		ObserveEvery: 500, Observer: sim.ObserverFunc(func(sim.Interval) {})})
+	if observed != ref {
+		t.Error("passive observation changed the key")
+	}
+
+	// The key must agree with what RunGrid reports for the same cell, so
+	// embedders can pre-compute cache addresses for grid runs.
+	g := &sim.Grid{Benches: []string{"gzip"}, Machines: []string{"4w"},
+		Configs: []string{"RENO"}, Scale: 0.3, MaxInsts: 20000}
+	var fromGrid string
+	_, err := sim.RunGrid(context.Background(), g, sim.GridOptions{
+		Progress: func(p sim.Progress) { fromGrid = p.RunKey },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromGrid == "" {
+		t.Fatal("grid progress carried no run key")
+	}
+	if fromGrid != ref {
+		t.Errorf("Program.RunKey %s != grid cell key %s", ref, fromGrid)
+	}
+}
+
+// TestRunKeyAsm: assembly programs are identified by their code, not a
+// benchmark name — different sources get different keys, identical sources
+// the same one.
+func TestRunKeyAsm(t *testing.T) {
+	const a = "start:\n\taddi r1, r1, 1\n\thalt\n"
+	const b = "start:\n\taddi r1, r1, 2\n\thalt\n"
+	pa, err := sim.LoadAsm(a, sim.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa2, err := sim.LoadAsm(a, sim.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := sim.LoadAsm(b, sim.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.RunKey(sim.Options{}) != pa2.RunKey(sim.Options{}) {
+		t.Error("identical assembly got different keys")
+	}
+	if pa.RunKey(sim.Options{}) == pb.RunKey(sim.Options{}) {
+		t.Error("different assembly shares a key")
+	}
+}

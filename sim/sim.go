@@ -26,6 +26,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"strconv"
 	"strings"
 
@@ -108,6 +109,7 @@ func resolveConfig(spec Spec) (pipeline.Config, string, string, error) {
 // reusable; each Run simulates it from scratch.
 type Program struct {
 	spec       Spec
+	suite      string // benchmark suite (labels + run-key identity)
 	cfg        pipeline.Config
 	machineTag string
 	configTag  string
@@ -143,7 +145,7 @@ func Load(spec Spec) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: warmup %s: %w", spec.Bench, err)
 	}
-	return &Program{spec: spec, cfg: cfg, machineTag: machineTag, configTag: configTag, code: prog.Code, warmup: warmup}, nil
+	return &Program{spec: spec, suite: profs[0].Suite, cfg: cfg, machineTag: machineTag, configTag: configTag, code: prog.Code, warmup: warmup}, nil
 }
 
 // LoadAsm assembles source text instead of generating a benchmark; the
@@ -170,6 +172,49 @@ func (p *Program) Spec() Spec { return p.spec }
 // "@s<seed>" appended for non-zero seeds — the same tag sweep results use.
 func (p *Program) Tag() string {
 	return sweep.Job{Machine: p.machineTag, Config: p.configTag, Seed: p.spec.Seed}.Tag()
+}
+
+// RunKey returns the run's stable cache identity under opts: an FNV-1a 64
+// hash (rendered %016x) over everything that determines the run's
+// deterministic outcome — the workload identity (bench, seed, scale), the
+// run bounds (MaxInsts, MaxCycles), CPA attachment (which adds cpa.*
+// metrics to the result), and the fully resolved machine configuration.
+// Observation settings are excluded: observers are passive, so observed
+// and unobserved runs share a key, as the same outcome. Two programs with
+// equal keys produce byte-identical stable result records, so the key
+// addresses result caches: with zero MaxCycles and CPAChunk it is exactly
+// the key the renoserve daemon caches grid cells under, and sweep progress
+// callbacks surface per run as Progress.RunKey. Assembly programs
+// (LoadAsm) have no generating spec, so their assembled code is hashed in
+// place of a benchmark name. Unlike the per-run result hash, RunKey is
+// known before the run executes.
+func (p *Program) RunKey(opts Options) string {
+	bench := p.spec.Bench
+	if bench == "" {
+		// LoadAsm: identify the program by its code, not a (missing) name.
+		h := fnv.New64a()
+		for _, inst := range p.code {
+			h.Write([]byte(inst.String()))
+			h.Write([]byte{'\n'})
+		}
+		bench = fmt.Sprintf("asm:%016x", h.Sum64())
+	}
+	j := sweep.Job{
+		Profile: workload.Profile{Name: bench, Suite: p.suite},
+		Machine: p.machineTag,
+		Config:  p.configTag,
+		Seed:    p.spec.Seed,
+		Cfg:     p.cfg,
+	}
+	key := j.Key(sweep.Options{Scale: p.spec.Scale, MaxInsts: opts.MaxInsts})
+	if opts.MaxCycles != 0 || opts.CPAChunk != 0 {
+		// Fold in the options grids cannot express, leaving the common
+		// (zero) case byte-identical to the grid-cell key.
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|mc=%d|cpa=%d", key, opts.MaxCycles, opts.CPAChunk)
+		key = fmt.Sprintf("%016x", h.Sum64())
+	}
+	return key
 }
 
 // Machine summarizes the resolved machine configuration.
@@ -321,10 +366,11 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 }
 
 // Info is one registry entry: a referenceable name plus a one-line
-// description.
+// description. It is JSON-serializable so discovery listings (renoserve's
+// /v1/registry endpoint) can serve it directly.
 type Info struct {
-	Name string
-	Desc string
+	Name string `json:"name"`
+	Desc string `json:"desc"`
 }
 
 // Benchmarks lists the built-in benchmark profiles (the Bench axis of a
