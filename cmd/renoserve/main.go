@@ -5,7 +5,7 @@
 // progress as NDJSON. It is a thin flag parser over internal/service; the
 // API contract lives in docs/service.md.
 //
-//	renoserve -addr :8844
+//	renoserve -addr :8844 -store /var/lib/reno/results
 //
 //	# submit the golden v2 grid, then watch it run
 //	curl -s -X POST --data-binary @internal/sweep/testdata/grid_v2.json \
@@ -15,9 +15,13 @@
 //
 // GET /v1/sweeps/{id}/results is byte-identical to `renosweep -stable` on
 // the same grid, and resubmitting an identical grid is served entirely
-// from cache. SIGINT/SIGTERM drain gracefully: intake stops, running
-// sweeps get -drain to finish, then in-flight runs are cancelled and
-// recorded with partial statistics.
+// from cache. With -store, the cache is tiered over a persistent
+// content-addressed directory: results survive restarts (even SIGKILL —
+// every entry is written atomically as its run completes) and may be
+// shared between daemons. SIGINT/SIGTERM drain gracefully: intake stops
+// first (POST refuses with 503 + Retry-After while every other endpoint
+// keeps serving), running sweeps get -drain to finish, and only then does
+// the listener close — in-flight clients never see a connection reset.
 package main
 
 import (
@@ -36,16 +40,23 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8844", "listen address")
-		workers = flag.Int("workers", 0, "per-sweep worker pool size (0 = GOMAXPROCS; a grid's own workers field wins)")
-		queue   = flag.Int("queue", 0, "max jobs queued behind the running ones (0 = 64)")
-		runners = flag.Int("runners", 0, "concurrently running sweeps (0 = 1)")
-		cache   = flag.Int("cache", 0, "max cached runs, evicted LRU (0 = 65536, negative = unbounded)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight runs are cancelled")
+		addr     = flag.String("addr", ":8844", "listen address")
+		workers  = flag.Int("workers", 0, "per-sweep worker pool size (0 = GOMAXPROCS; a grid's own workers field wins)")
+		queue    = flag.Int("queue", 0, "max jobs queued behind the running ones (0 = 64)")
+		runners  = flag.Int("runners", 0, "concurrently running sweeps (0 = 1)")
+		cache    = flag.Int("cache", 0, "max results in the in-memory cache, evicted LRU (0 = 65536, negative = unbounded)")
+		storeDir = flag.String("store", "", "persistent result store directory (empty = in-memory only; the cache then dies with the daemon)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight runs are cancelled")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, Runners: *runners, CacheEntries: *cache})
+	svc, err := service.New(service.Config{
+		Workers: *workers, QueueDepth: *queue, Runners: *runners,
+		CacheEntries: *cache, StoreDir: *storeDir,
+	})
+	if err != nil {
+		fatal(err)
+	}
 	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -53,6 +64,9 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if *storeDir != "" {
+		fmt.Fprintf(os.Stderr, "renoserve: result store at %s\n", *storeDir)
+	}
 	fmt.Fprintf(os.Stderr, "renoserve: listening on %s\n", *addr)
 
 	select {
@@ -61,6 +75,11 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// Shutdown ordering: stop intake before anything else, so submissions
+	// racing the signal get a clean 503 + Retry-After (not a reset) while
+	// the listener keeps serving status, results, and event streams for
+	// the jobs still draining.
+	svc.StopIntake()
 	fmt.Fprintf(os.Stderr, "renoserve: draining (budget %s)\n", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -68,7 +87,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "renoserve: drain budget exceeded, in-flight runs cancelled\n")
 	}
 	// Jobs are settled now, so open event streams have ended; give the
-	// HTTP server a short fresh window to flush remaining responses.
+	// HTTP server a short fresh window to flush remaining responses, and
+	// only then stop listening.
 	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer hcancel()
 	if err := srv.Shutdown(hctx); err != nil {

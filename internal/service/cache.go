@@ -7,7 +7,7 @@ import (
 	"reno/internal/sweep"
 )
 
-// DefaultCacheEntries is the cache bound used when Config.CacheEntries is
+// DefaultCacheEntries is the cache bound used when the configured bound is
 // zero. At typical result sizes this is tens of megabytes — generous for
 // real grids, finite for a long-lived daemon.
 const DefaultCacheEntries = 65536
@@ -22,13 +22,19 @@ const DefaultCacheEntries = 65536
 // cached: failures, timeouts, and cancellations carry wall-clock-dependent
 // partial state that must not be replayed as truth.
 //
-// The cache is bounded LRU (max entries; <= 0 means unbounded): each entry
-// pins its run's full pipeline result, and a long-lived daemon sweeping
+// Results are deep-copied on both insert and lookup, so the cache never
+// aliases its entries with callers: a job (or client) that mutates a served
+// result cannot corrupt what later jobs are served.
+//
+// The cache is bounded LRU; the bound follows one convention everywhere
+// (NewCacheSize, Config.CacheEntries, the -cache flag): < 0 = unbounded,
+// 0 = DefaultCacheEntries, > 0 = that many entries. Each entry pins its
+// run's full pipeline result, and a long-lived daemon sweeping
 // ever-distinct grids must not grow without limit. Eviction is always
 // safe — it only costs re-simulation on the next submission.
 type Cache struct {
 	mu     sync.Mutex
-	max    int
+	max    int // 0 = unbounded (resolved in NewCacheSize)
 	m      map[string]*list.Element
 	lru    *list.List // front = most recently used
 	hits   uint64
@@ -43,36 +49,55 @@ type cacheEntry struct {
 }
 
 // NewCache returns an empty unbounded cache.
-func NewCache() *Cache { return NewCacheSize(0) }
+func NewCache() *Cache { return NewCacheSize(-1) }
 
-// NewCacheSize returns an empty cache bounded to max entries (<= 0 means
-// unbounded).
+// NewCacheSize returns an empty cache bounded to max entries. The bound
+// convention matches Config.CacheEntries and the renoserve -cache flag:
+// max < 0 means unbounded, max == 0 means DefaultCacheEntries, and a
+// positive max is taken literally.
 func NewCacheSize(max int) *Cache {
+	switch {
+	case max < 0:
+		max = 0 // unbounded
+	case max == 0:
+		max = DefaultCacheEntries
+	}
 	return &Cache{max: max, m: map[string]*list.Element{}, lru: list.New()}
 }
 
-// Lookup returns the cached result for key (nil on miss) and counts the
-// outcome. Cached results are shared and must be treated as immutable;
-// emission paths already derive fresh metric sets per encoding.
+// Bound returns the resolved entry bound (0 = unbounded).
+func (c *Cache) Bound() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.max
+}
+
+// Lookup returns a copy of the cached result for key (nil on miss) and
+// counts the outcome. The returned result is the caller's own: mutating it
+// never affects the cache.
 func (c *Cache) Lookup(key string) *sweep.Result {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.hits++
 		c.lru.MoveToFront(el)
-		return el.Value.(*cacheEntry).r
+		return el.Value.(*cacheEntry).r.Clone()
 	}
 	c.misses++
 	return nil
 }
 
-// Put stores a completed successful run under its key, evicting the least
-// recently used entry when the bound is exceeded. Failed or partial runs
-// are ignored, as are nil results.
+// Get is Lookup under the ResultStore interface name.
+func (c *Cache) Get(key string) *sweep.Result { return c.Lookup(key) }
+
+// Put stores a deep copy of a completed successful run under its key,
+// evicting the least recently used entry when the bound is exceeded. Failed
+// or partial runs are ignored, as are nil results.
 func (c *Cache) Put(key string, r *sweep.Result) {
-	if r == nil || r.Err != "" || r.Pipeline == nil {
+	if !r.Complete() {
 		return
 	}
+	r = r.Clone()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {

@@ -50,8 +50,16 @@ func NewHandler(svc *Service) http.Handler {
 		j, err := svc.Submit(spec)
 		if err != nil {
 			code := http.StatusBadRequest // spec problem, renosweep -validate wording
-			if errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull) {
+			if errors.Is(err, ErrQueueFull) {
+				// Transient: the queue will drain — come back shortly.
 				code = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", "1")
+			}
+			if errors.Is(err, ErrClosed) {
+				// Draining: this instance stops intake for good; a clean
+				// refusal with a backoff hint, never a connection reset.
+				code = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", "5")
 			}
 			writeError(w, code, err)
 			return

@@ -25,7 +25,7 @@ const goldenV2 = "../sweep/testdata/grid_v2.json"
 // testServer wires a Service into an httptest server and tears both down.
 func testServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	t.Helper()
-	svc := New(cfg)
+	svc := mustNew(t, cfg)
 	ts := httptest.NewServer(NewHandler(svc))
 	t.Cleanup(func() {
 		ts.Close()
@@ -354,6 +354,59 @@ func TestCancellationReturnsPartialEnvelope(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/v1/sweeps/"+st.ID, nil); code != http.StatusNotFound {
 		t.Errorf("GET after delete: %d, want 404", code)
 	}
+}
+
+// TestDrainRefusesSubmissions pins the shutdown-ordering contract: once
+// intake stops (the first step of renoserve's signal handling), POST
+// /v1/sweeps refuses with 503 + Retry-After while every read endpoint —
+// status, results, events, healthz — keeps serving the draining jobs.
+func TestDrainRefusesSubmissions(t *testing.T) {
+	// A long job holds the only runner so the drain has something in flight.
+	long := []byte(`{"benches":["gzip","gsm.de"],"renos":["BASE","RENO"],"seeds":[0,1,2],"max_insts":300000}`)
+	svc, ts := testServer(t, Config{Workers: 1})
+	st := postGrid(t, ts, long)
+
+	svc.StopIntake()
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"benches":["gzip"],"max_insts":1000,"scale":0.1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST during drain: %d %s, want 503", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 during drain has no Retry-After header")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "draining") {
+		t.Errorf("drain error body %q (err %v)", body, err)
+	}
+
+	// Read endpoints stay up for the jobs still draining.
+	var got Status
+	if code := getJSON(t, ts.URL+"/v1/sweeps/"+st.ID, &got); code != http.StatusOK || got.ID != st.ID {
+		t.Errorf("GET status during drain: %d %+v", code, got)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/healthz", &health); code != http.StatusOK || !health.Draining {
+		t.Errorf("healthz during drain: %d %+v", code, health)
+	}
+
+	// Let closeNow's drain finish promptly.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+st.ID, nil)
+	if dresp, err := http.DefaultClient.Do(req); err == nil {
+		dresp.Body.Close()
+	}
+	pollTerminal(t, ts, st.ID)
 }
 
 // TestHTTPErrors pins the error surface: validation failures are 400s

@@ -1,6 +1,8 @@
 // Package service is the serving layer behind the renoserve daemon: a
 // long-running sweep service with a bounded job scheduler, an in-memory job
-// store, a run-key result cache, and streaming per-run progress.
+// store, a run-key result cache (optionally tiered over a persistent
+// content-addressed disk store — see ResultStore, DiskStore, TieredStore),
+// and streaming per-run progress.
 //
 // A submitted grid (the same JSON schema cmd/renosweep consumes, validated
 // with the same field-level errors) becomes a Job that moves through the
@@ -294,16 +296,17 @@ type Config struct {
 	// Runners is how many sweeps execute concurrently (0 = 1; each sweep
 	// already parallelizes internally across its pool).
 	Runners int
-	// CacheEntries bounds the LRU result cache (0 = DefaultCacheEntries,
-	// < 0 = unbounded). Evictions only cost re-simulation.
+	// CacheEntries bounds the in-memory LRU result cache, under the one
+	// bound convention shared with NewCacheSize and the renoserve -cache
+	// flag: 0 = DefaultCacheEntries, < 0 = unbounded. Evictions only cost
+	// re-simulation (or, with StoreDir set, a disk read).
 	CacheEntries int
-}
-
-func (c Config) cacheEntries() int {
-	if c.CacheEntries == 0 {
-		return DefaultCacheEntries
-	}
-	return c.CacheEntries
+	// StoreDir, when non-empty, backs the result cache with a persistent
+	// content-addressed disk store rooted at that directory: results
+	// survive restarts, the memory tier warm-loads from it on startup,
+	// and concurrent daemons may share one directory. Empty = memory
+	// only, the cache dies with the process.
+	StoreDir string
 }
 
 func (c Config) queueDepth() int {
@@ -331,7 +334,8 @@ func (c Config) workers() int {
 // Create one with New; it accepts jobs until Close.
 type Service struct {
 	cfg   Config
-	cache *Cache
+	cache *Cache             // the in-memory tier (always present)
+	store ResultStore        // what runs read/write: cache, or tiered over disk
 	ctx   context.Context    // base context of every sweep
 	stop  context.CancelFunc // cancels in-flight sweeps on forced drain
 	wg    sync.WaitGroup
@@ -357,22 +361,46 @@ var (
 	ErrQueueFull = errors.New("job queue is full")
 )
 
-// New starts a Service with cfg's scheduler bounds and an empty cache.
-func New(cfg Config) *Service {
-	ctx, stop := context.WithCancel(context.Background())
-	s := &Service{
-		cfg:   cfg,
-		cache: NewCacheSize(cfg.cacheEntries()),
-		ctx:   ctx,
-		stop:  stop,
-		jobs:  map[string]*Job{},
+// New starts a Service with cfg's scheduler bounds. The result cache is
+// in-memory; with cfg.StoreDir set it is tiered over a persistent disk
+// store (opened — or created — here, with previously persisted results
+// warm-loaded into the memory tier). The only error paths are store ones:
+// an unusable directory fails construction rather than silently running
+// without persistence.
+func New(cfg Config) (*Service, error) {
+	s, err := newService(cfg)
+	if err != nil {
+		return nil, err
 	}
-	s.wake = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.runners(); i++ {
 		s.wg.Add(1)
 		go s.runLoop()
 	}
-	return s
+	return s, nil
+}
+
+// newService builds the service without starting its runners (tests drive
+// the scheduler by hand through this seam).
+func newService(cfg Config) (*Service, error) {
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:   cfg,
+		cache: NewCacheSize(cfg.CacheEntries),
+		ctx:   ctx,
+		stop:  stop,
+		jobs:  map[string]*Job{},
+	}
+	s.store = s.cache
+	if cfg.StoreDir != "" {
+		disk, err := OpenDiskStore(cfg.StoreDir)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.store = NewTieredStore(s.cache, disk)
+	}
+	s.wake = sync.NewCond(&s.mu)
+	return s, nil
 }
 
 // runLoop is one runner: it pops pending jobs in FIFO order and executes
@@ -396,8 +424,13 @@ func (s *Service) runLoop() {
 	}
 }
 
-// Cache returns the service's result cache.
+// Cache returns the in-memory tier of the service's result cache.
 func (s *Service) Cache() *Cache { return s.cache }
+
+// Store returns the result store runs read and write: the in-memory cache
+// alone, or the tiered memory-over-disk composition when Config.StoreDir
+// was set.
+func (s *Service) Store() ResultStore { return s.store }
 
 // Simulated returns the lifetime count of runs actually executed on the
 // pipeline (cache hits excluded) — the counter the cache acceptance test
@@ -543,12 +576,12 @@ func (s *Service) run(j *Job) {
 		opts.Workers = s.cfg.workers()
 	}
 	opts.Lookup = func(key string, _ sweep.Job) *sweep.Result {
-		return s.cache.Lookup(key)
+		return s.store.Get(key)
 	}
 	opts.Progress = func(ri sweep.RunInfo) {
 		if !ri.Cached {
 			s.simulated.Add(1)
-			s.cache.Put(ri.Key, ri.Result)
+			s.store.Put(ri.Key, ri.Result)
 		}
 		j.onRun(ri)
 	}
@@ -556,7 +589,9 @@ func (s *Service) run(j *Job) {
 	j.complete(results, ctx.Err() != nil)
 }
 
-// Stats aggregates service health for the /v1/healthz endpoint.
+// Stats aggregates service health for the /v1/healthz endpoint. The
+// cache_* fields describe the in-memory tier; Store is present only when
+// the daemon runs with a persistent store behind it.
 type Stats struct {
 	Jobs           int    `json:"jobs"`
 	Queued         int    `json:"queued"`
@@ -567,6 +602,8 @@ type Stats struct {
 	CacheEvictions uint64 `json:"cache_evictions"`
 	Simulated      uint64 `json:"simulated"`
 	Draining       bool   `json:"draining,omitempty"`
+
+	Store *StoreStats `json:"store,omitempty"`
 }
 
 // Stats snapshots the service.
@@ -587,22 +624,42 @@ func (s *Service) Stats() Stats {
 	st.CacheHits, st.CacheMisses = s.cache.Stats()
 	st.CacheEvictions = s.cache.Evictions()
 	st.Simulated = s.simulated.Load()
+	if ts, ok := s.store.(*TieredStore); ok {
+		ss := ts.Stats()
+		st.Store = &ss
+	}
 	return st
 }
 
-// Close drains the service: intake stops immediately (Submit returns
-// ErrClosed), and Close waits for queued and running jobs to finish. When
-// ctx expires first, in-flight sweeps are cancelled — their jobs settle as
-// cancelled with partial results, exactly like a SIGINT'd renosweep — and
-// Close still waits for the runners to exit before returning ctx's error.
-// Close is idempotent.
-func (s *Service) Close(ctx context.Context) error {
+// StopIntake stops the service accepting new jobs: Submit (and therefore
+// POST /v1/sweeps) refuses with ErrClosed from the moment it returns, while
+// queued and running jobs continue undisturbed and every read endpoint
+// keeps serving. It is the first step of a graceful shutdown — refuse
+// cleanly first, drain second, close the listener last — and is idempotent.
+func (s *Service) StopIntake() {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
 		s.wake.Broadcast()
 	}
 	s.mu.Unlock()
+}
+
+// Draining reports whether intake has stopped.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close drains the service: intake stops immediately (StopIntake), and
+// Close waits for queued and running jobs to finish. When ctx expires
+// first, in-flight sweeps are cancelled — their jobs settle as cancelled
+// with partial results, exactly like a SIGINT'd renosweep — and Close still
+// waits for the runners to exit before returning ctx's error. Close is
+// idempotent.
+func (s *Service) Close(ctx context.Context) error {
+	s.StopIntake()
 
 	done := make(chan struct{})
 	go func() {

@@ -3,13 +3,25 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"reno/internal/pipeline"
 	"reno/internal/sweep"
 )
+
+// mustNew builds a service or fails the test.
+func mustNew(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return s
+}
 
 // closeNow drains a test service with a generous budget.
 func closeNow(t *testing.T, s *Service) {
@@ -25,7 +37,7 @@ func closeNow(t *testing.T, s *Service) {
 // field-level wording the CLI's -validate path produces, and never create a
 // job.
 func TestSubmitValidation(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	defer closeNow(t, s)
 
 	cases := []struct {
@@ -51,7 +63,7 @@ func TestSubmitValidation(t *testing.T) {
 
 // TestSubmitAfterCloseRefused: a draining service accepts nothing new.
 func TestSubmitAfterCloseRefused(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	closeNow(t, s)
 	if _, err := s.Submit([]byte(`{"benches":["gzip"],"max_insts":1000,"scale":0.1}`)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: err %v, want ErrClosed", err)
@@ -61,7 +73,7 @@ func TestSubmitAfterCloseRefused(t *testing.T) {
 // TestQueueBoundsAndQueuedCancel: the queue depth bounds intake, and a
 // queued job cancels instantly with an empty (but valid) result set.
 func TestQueueBoundsAndQueuedCancel(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1, Runners: 1})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1, Runners: 1})
 	defer closeNow(t, s)
 
 	// j1 is big enough to hold the single runner while we fill the queue.
@@ -195,10 +207,205 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestCacheBoundConvention pins the one bound convention shared by
+// NewCacheSize, Config.CacheEntries, and the renoserve -cache flag:
+// negative = unbounded, zero = DefaultCacheEntries, positive = literal.
+// (The historical bug: the flag help said "0 = default" while the
+// constructor treated <= 0 as unbounded, so -cache 0 daemons ran without
+// any bound.)
+func TestCacheBoundConvention(t *testing.T) {
+	ok := func(key string) *sweep.Result {
+		return &sweep.Result{Bench: key, Pipeline: &pipeline.Result{}}
+	}
+	cases := []struct {
+		name    string
+		max     int
+		bound   int // resolved bound (0 = unbounded)
+		inserts int
+		wantLen int
+	}{
+		{"negative is unbounded", -1, 0, DefaultCacheEntries + 10, DefaultCacheEntries + 10},
+		{"zero is the default bound", 0, DefaultCacheEntries, 3, 3},
+		{"one entry", 1, 1, 3, 1},
+		{"literal bound", 4, 4, 10, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cache := NewCacheSize(c.max)
+			if got := cache.Bound(); got != c.bound {
+				t.Fatalf("NewCacheSize(%d).Bound() = %d, want %d", c.max, got, c.bound)
+			}
+			for i := 0; i < c.inserts; i++ {
+				cache.Put(fmt.Sprintf("k%07d", i), ok("b"))
+			}
+			if got := cache.Len(); got != c.wantLen {
+				t.Fatalf("after %d inserts into NewCacheSize(%d): len %d, want %d",
+					c.inserts, c.max, got, c.wantLen)
+			}
+			// The Config path resolves identically.
+			s := mustNew(t, Config{CacheEntries: c.max})
+			defer closeNow(t, s)
+			if got := s.Cache().Bound(); got != c.bound {
+				t.Fatalf("Config{CacheEntries: %d} cache bound %d, want %d", c.max, got, c.bound)
+			}
+		})
+	}
+}
+
+// TestCacheLookupAliasing is the regression test for the aliasing hazard:
+// the cache used to hand out its internal *sweep.Result pointer, so a
+// caller mutating an emitted report (or the put result, post-insert)
+// corrupted what every later job was served.
+func TestCacheLookupAliasing(t *testing.T) {
+	c := NewCache()
+	orig := &sweep.Result{
+		Bench: "gzip", Config: "RENO", IPC: 1.5, Hash: "h0",
+		Pipeline: &pipeline.Result{Cycles: 1000, IPC: 1.5, StopReason: "max-insts"},
+	}
+	c.Put("k", orig)
+
+	// Mutating the inserted result after Put must not reach the cache.
+	orig.IPC = -1
+	orig.Pipeline.Cycles = 0
+
+	got := c.Lookup("k")
+	if got == nil || got.IPC != 1.5 || got.Pipeline.Cycles != 1000 {
+		t.Fatalf("cache aliased the inserted result: %+v", got)
+	}
+
+	// Mutating a looked-up result must not reach the cache either.
+	got.IPC = -2
+	got.Hash = "mutated"
+	got.Pipeline.StopReason = "mutated"
+
+	again := c.Lookup("k")
+	if again.IPC != 1.5 || again.Hash != "h0" || again.Pipeline.StopReason != "max-insts" {
+		t.Fatalf("cache aliased the emitted result: %+v", again)
+	}
+	if got == again {
+		t.Fatal("two lookups returned the same pointer")
+	}
+}
+
+// TestCancelWhileDequeued pins the cancel-while-dequeued window: a runner
+// has popped the job from pending (so Cancel cannot unqueue it) but has not
+// yet called begin(). Cancel settles the job exactly once, and the late
+// begin() must report false — the job never resurrects to running after
+// being cancelled.
+func TestCancelWhileDequeued(t *testing.T) {
+	// No runners: the test plays the runner by hand through the newService
+	// seam, freezing the schedule inside the window.
+	s, err := newService(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.stop()
+	j, err := s.Submit([]byte(`{"benches":["gzip"],"renos":["BASE"],"max_insts":1000,"scale":0.1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The runner's dequeue step: pending no longer holds the job...
+	s.mu.Lock()
+	if len(s.pending) != 1 || s.pending[0] != j {
+		s.mu.Unlock()
+		t.Fatalf("pending = %v", s.pending)
+	}
+	s.pending = s.pending[1:]
+	s.mu.Unlock()
+
+	// ...and Cancel lands exactly in the window before begin().
+	if ok, err := s.Cancel(j.ID()); err != nil || !ok {
+		t.Fatalf("cancel in the dequeue window: ok=%v err=%v", ok, err)
+	}
+	if st := j.Status(); st.State != StateCancelled {
+		t.Fatalf("state %s after window cancel, want cancelled", st.State)
+	}
+
+	// The runner proceeds: begin() is the guard and must refuse.
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if j.begin(cancel) {
+		t.Fatal("begin() resurrected a cancelled job to running")
+	}
+	if st := j.Status(); st.State != StateCancelled {
+		t.Fatalf("state %s after late begin, want cancelled", st.State)
+	}
+
+	// The job settled exactly once: one terminal state event, no running.
+	evs, _, terminal, _ := j.Events(0)
+	if !terminal {
+		t.Fatal("job not terminal")
+	}
+	terminals := 0
+	for _, ev := range evs {
+		if ev.Type != "state" {
+			continue
+		}
+		if ev.State == StateRunning {
+			t.Fatalf("events record a running transition: %+v", evs)
+		}
+		if ev.State.Terminal() {
+			terminals++
+		}
+	}
+	if terminals != 1 {
+		t.Fatalf("job settled %d times, want exactly once (events: %+v)", terminals, evs)
+	}
+	if rep, err := j.Results(true); err != nil || len(rep.Records) != 0 {
+		t.Fatalf("window-cancelled job results: %v records, err %v", rep, err)
+	}
+}
+
+// TestCancelRaceSettlesOnce hammers the same window concurrently under
+// -race: the runner's run() races Cancel on a freshly dequeued job; in
+// every interleaving the job settles terminal exactly once.
+func TestCancelRaceSettlesOnce(t *testing.T) {
+	s, err := newService(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.stop()
+	spec := []byte(`{"benches":["gzip"],"renos":["BASE"],"max_insts":500,"scale":0.1}`)
+	for i := 0; i < 20; i++ {
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.mu.Lock()
+		s.pending = s.pending[1:] // the dequeue step
+		s.mu.Unlock()
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); s.run(j) }()
+		go func() { defer wg.Done(); s.Cancel(j.ID()) }()
+		wg.Wait()
+
+		st := j.Status()
+		if !st.State.Terminal() {
+			t.Fatalf("iteration %d: job not terminal (%s)", i, st.State)
+		}
+		evs, _, _, _ := j.Events(0)
+		terminals := 0
+		for _, ev := range evs {
+			if ev.Type == "state" && ev.State.Terminal() {
+				terminals++
+			}
+		}
+		if terminals != 1 {
+			t.Fatalf("iteration %d: job settled %d times (events: %+v)", i, terminals, evs)
+		}
+		if _, err := j.Results(true); err != nil {
+			t.Fatalf("iteration %d: terminal job has no results: %v", i, err)
+		}
+	}
+}
+
 // TestGracefulDrainCompletesQueuedJobs: Close with headroom lets queued
 // work finish rather than cancelling it.
 func TestGracefulDrainCompletesQueuedJobs(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := mustNew(t, Config{Workers: 2})
 	spec := []byte(`{"benches":["gzip"],"renos":["BASE"],"max_insts":5000,"scale":0.2}`)
 	j, err := s.Submit(spec)
 	if err != nil {
@@ -213,7 +420,7 @@ func TestGracefulDrainCompletesQueuedJobs(t *testing.T) {
 // TestForcedDrainCancelsInFlight: an expired drain budget cancels the
 // running sweep, which still settles with partial results.
 func TestForcedDrainCancelsInFlight(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	spec := []byte(`{"benches":["gzip","gsm.de"],"renos":["BASE","RENO"],"seeds":[0,1,2],"max_insts":300000}`)
 	j, err := s.Submit(spec)
 	if err != nil {

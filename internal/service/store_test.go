@@ -1,0 +1,321 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reno/internal/pipeline"
+	"reno/internal/sweep"
+)
+
+// fakeResult builds a synthetic complete result (encodable, auditable).
+func fakeResult(bench string) *sweep.Result {
+	return &sweep.Result{
+		Bench: bench, Config: "RENO",
+		Cycles: 100, Insts: 50, IPC: 0.5,
+		ArchHash: "00000000000000aa", Hash: "00000000000000bb",
+		Pipeline: &pipeline.Result{Cycles: 100, Insts: 50, IPC: 0.5},
+	}
+}
+
+// key16 renders i as a run-key-shaped address.
+func key16(i int) string { return fmt.Sprintf("%016x", i) }
+
+// TestDiskStorePutGet: entries round-trip through the filesystem, the
+// directory holds exactly the final files (no temp leftovers), and stats
+// track the population.
+func TestDiskStorePutGet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(key16(1), fakeResult("gzip"))
+	s.Put(key16(2), fakeResult("parser"))
+	s.Put("not-a-key", fakeResult("gzip"))      // invalid address: ignored
+	s.Put(key16(3), &sweep.Result{Err: "boom"}) // failure: ignored
+
+	if s.Len() != 2 {
+		t.Fatalf("store has %d entries, want 2", s.Len())
+	}
+	got := s.Get(key16(1))
+	if got == nil || got.Bench != "gzip" || !got.Restored() {
+		t.Fatalf("Get returned %+v", got)
+	}
+	if s.Get(key16(9)) != nil {
+		t.Error("absent key returned a result")
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, de := range entries {
+		if !de.IsDir() {
+			names = append(names, de.Name())
+		}
+	}
+	if len(names) != 2 || strings.HasPrefix(names[0], ".tmp") {
+		t.Fatalf("store dir contents %v, want exactly the two records", names)
+	}
+
+	st := s.Stats()
+	if st.Entries != 2 || st.Writes != 2 || st.Bytes == 0 || st.Quarantined != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// A fresh open on the same directory indexes the existing entries.
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 || s2.Get(key16(2)) == nil {
+		t.Fatalf("reopened store: len %d", s2.Len())
+	}
+}
+
+// TestDiskStoreQuarantine: a corrupt or truncated entry is a miss, never an
+// error — the bytes are moved to quarantine/ and the key becomes writable
+// again.
+func TestDiskStoreQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(key16(1), fakeResult("gzip"))
+	s.Put(key16(2), fakeResult("parser"))
+
+	// Truncate one record and bit-flip the other.
+	if err := os.WriteFile(filepath.Join(dir, key16(1)+".json"), []byte(`{"schema": "reno.resu`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(dir, key16(2)+".json")
+	data, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path2, bytes.Replace(data, []byte("parser"), []byte("parsed"), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []string{key16(1), key16(2)} {
+		if r := s.Get(k); r != nil {
+			t.Fatalf("corrupt entry %s served as %+v", k, r)
+		}
+		if _, err := os.Stat(filepath.Join(dir, k+".json")); !os.IsNotExist(err) {
+			t.Errorf("corrupt entry %s still addressable (err %v)", k, err)
+		}
+	}
+	if st := s.Stats(); st.Quarantined != 2 || st.Entries != 0 {
+		t.Fatalf("stats after quarantine: %+v", st)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(q) != 2 {
+		t.Fatalf("quarantine dir holds %d files (err %v), want 2", len(q), err)
+	}
+
+	// The key is a clean miss now; re-putting repopulates it.
+	s.Put(key16(1), fakeResult("gzip"))
+	if got := s.Get(key16(1)); got == nil || got.Bench != "gzip" {
+		t.Fatalf("re-put after quarantine: %+v", got)
+	}
+}
+
+// TestTieredStoreWarmLoad: entries on disk are promoted into the memory
+// tier at construction (bounded by the memory cap), corrupt ones
+// quarantined; a memory miss falls back to disk and promotes.
+func TestTieredStoreWarmLoad(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		seed.Put(key16(i), fakeResult(fmt.Sprintf("b%d", i)))
+	}
+	// Corrupt one entry before the warm load sees it.
+	if err := os.WriteFile(filepath.Join(dir, key16(3)+".json"), []byte("rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	disk, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewCache()
+	ts := NewTieredStore(mem, disk)
+	st := ts.Stats()
+	if st.Loaded != 3 || st.Quarantined != 1 {
+		t.Fatalf("warm load: %+v", st)
+	}
+	if mem.Len() != 3 {
+		t.Fatalf("memory tier holds %d entries after warm load, want 3", mem.Len())
+	}
+	if r := ts.Get(key16(3)); r != nil {
+		t.Fatalf("quarantined entry served: %+v", r)
+	}
+
+	// A bounded memory tier only warm-loads up to its cap; the rest still
+	// arrives via disk fallback (and is promoted, evicting LRU).
+	small := NewCacheSize(2)
+	ts2 := NewTieredStore(small, disk)
+	if ts2.Stats().Loaded != 2 || small.Len() != 2 {
+		t.Fatalf("bounded warm load: loaded %d, mem %d", ts2.Stats().Loaded, small.Len())
+	}
+	hitsBefore := ts2.Stats().Hits
+	misses := 0
+	for i := 1; i <= 4; i++ {
+		if i == 3 {
+			continue // quarantined above
+		}
+		if ts2.Get(key16(i)) == nil {
+			misses++
+		}
+	}
+	if misses != 0 {
+		t.Fatalf("%d entries unreachable through the tiered store", misses)
+	}
+	if ts2.Stats().Hits == hitsBefore {
+		t.Error("no disk-tier fallback happened for entries beyond the memory cap")
+	}
+}
+
+// stableBytes renders a job's stable envelope.
+func stableBytes(t *testing.T, j *Job) []byte {
+	t.Helper()
+	rep, err := j.Results(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runToDone submits a spec and waits for a clean finish.
+func runToDone(t *testing.T, s *Service, spec []byte) *Job {
+	t.Helper()
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone)
+	return j
+}
+
+// TestServiceRestartSurvival is the acceptance property at the service
+// level: a second service instance on the same store directory serves a
+// resubmitted grid with zero new simulations and byte-identical results;
+// a corrupted entry degrades to one re-simulation (quarantined), still
+// byte-identical — and since entries are written atomically as each run
+// completes, an unclean death (no Close) loses nothing.
+func TestServiceRestartSurvival(t *testing.T) {
+	dir := t.TempDir()
+	spec := []byte(`{"benches":["gzip"],"renos":["BASE","RENO"],"max_insts":5000,"scale":0.2}`)
+	cfg := Config{Workers: 2, StoreDir: dir}
+
+	// First life: simulate everything, remember the envelope. No graceful
+	// close — results must already be durable (SIGKILL equivalence).
+	s1 := mustNew(t, cfg)
+	want := stableBytes(t, runToDone(t, s1, spec))
+	if n := s1.Simulated(); n != 2 {
+		t.Fatalf("first life simulated %d runs, want 2", n)
+	}
+	s1.StopIntake() // stop the runners; deliberately no Close/flush
+
+	// Second life: warm-loaded from disk, zero new simulations, same bytes.
+	s2 := mustNew(t, cfg)
+	defer closeNow(t, s2)
+	if st := s2.Stats(); st.Store == nil || st.Store.Entries != 2 || st.Store.Loaded != 2 {
+		t.Fatalf("restarted store stats: %+v", st.Store)
+	}
+	j2 := runToDone(t, s2, spec)
+	if st := j2.Status(); st.CacheHits != 2 || st.Simulated != 0 {
+		t.Fatalf("restart resubmission counters: %+v", st)
+	}
+	if s2.Simulated() != 0 {
+		t.Fatalf("restarted service executed %d pipeline runs, want 0", s2.Simulated())
+	}
+	if got := stableBytes(t, j2); !bytes.Equal(got, want) {
+		t.Fatalf("restart served different bytes:\n%s\n----\n%s", got, want)
+	}
+
+	// Third life: one entry rots. The service re-simulates exactly that
+	// cell, quarantines the bad record, and the bytes still match.
+	keys, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, de := range keys {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".json") {
+			if err := os.WriteFile(filepath.Join(dir, de.Name()), []byte("rot"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("no store entry found to corrupt")
+	}
+	s3 := mustNew(t, cfg)
+	defer closeNow(t, s3)
+	j3 := runToDone(t, s3, spec)
+	if st := j3.Status(); st.CacheHits != 1 || st.Simulated != 1 {
+		t.Fatalf("post-corruption counters: %+v", st)
+	}
+	if st := s3.Stats(); st.Store == nil || st.Store.Quarantined != 1 {
+		t.Fatalf("corruption was not quarantined: %+v", st.Store)
+	}
+	if got := stableBytes(t, j3); !bytes.Equal(got, want) {
+		t.Fatalf("post-corruption bytes differ:\n%s\n----\n%s", got, want)
+	}
+	// The re-simulated entry healed the store.
+	if st := s3.Stats(); st.Store.Entries != 2 {
+		t.Fatalf("store not healed after re-simulation: %+v", st.Store)
+	}
+}
+
+// TestServiceStoreDirError: an unusable store directory fails construction
+// loudly instead of running without persistence.
+func TestServiceStoreDirError(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := New(Config{StoreDir: file}); err == nil {
+		closeNow(t, s)
+		t.Fatal("New accepted a store path that is a regular file")
+	}
+}
+
+// TestConcurrentStoreSharing: two services sharing one directory never torn-
+// write; a result computed by one is served by the other without
+// re-simulation.
+func TestConcurrentStoreSharing(t *testing.T) {
+	dir := t.TempDir()
+	spec := []byte(`{"benches":["gzip"],"renos":["BASE"],"max_insts":5000,"scale":0.2}`)
+	a := mustNew(t, Config{Workers: 1, StoreDir: dir})
+	defer closeNow(t, a)
+	runToDone(t, a, spec)
+	if a.Simulated() != 1 {
+		t.Fatalf("first daemon simulated %d, want 1", a.Simulated())
+	}
+
+	// The second daemon opened the dir after the write: warm-loads it.
+	b := mustNew(t, Config{Workers: 1, StoreDir: dir})
+	defer closeNow(t, b)
+	j := runToDone(t, b, spec)
+	if st := j.Status(); st.CacheHits != 1 || st.Simulated != 0 {
+		t.Fatalf("second daemon did not share the store: %+v", st)
+	}
+}

@@ -1,0 +1,158 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// liveResult simulates one small run and returns it with its run key.
+func liveResult(t *testing.T) (string, *Result) {
+	t.Helper()
+	grid, err := ParseGridJSON([]byte(`{"benches":["gzip"],"renos":["RENO"],"max_insts":5000,"scale":0.2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := grid.Options()
+	results := Run(jobs, opts)
+	r := results[0]
+	if r.Err != "" || r.Pipeline == nil {
+		t.Fatalf("live run failed: %+v", r)
+	}
+	return jobs[0].Key(opts), r
+}
+
+// TestResultCodecRoundTrip pins the tentpole property of the persistent
+// store format: a live-simulated result encodes, decodes, and re-encodes
+// byte-identically, and the decoded result emits an envelope record
+// byte-identical to the live one — so a store hit is observationally
+// equivalent to re-simulating.
+func TestResultCodecRoundTrip(t *testing.T) {
+	key, live := liveResult(t)
+
+	enc, err := EncodeResult(key, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKey, restored, err := DecodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != key {
+		t.Fatalf("decoded key %s, want %s", gotKey, key)
+	}
+	if !restored.Restored() || !restored.Complete() {
+		t.Fatalf("decoded result: restored=%v complete=%v", restored.Restored(), restored.Complete())
+	}
+
+	// Re-encode: byte-identical.
+	enc2, err := EncodeResult(key, restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("re-encoded record differs from the original:\n%s\n----\n%s", enc, enc2)
+	}
+
+	// Scalar record equality (the CSV/event surface).
+	if restored.Hash != live.Hash || restored.ArchHash != live.ArchHash ||
+		restored.Cycles != live.Cycles || restored.Insts != live.Insts ||
+		restored.IPC != live.IPC || restored.ElimTotal != live.ElimTotal ||
+		restored.Bench != live.Bench || restored.Tag() != live.Tag() {
+		t.Fatalf("decoded scalars differ:\nlive:    %+v\nrestored: %+v", live, restored)
+	}
+	if restored.archHash != live.archHash {
+		t.Fatalf("decoded arch hash %x, want %x (Audit would skip restored results)", restored.archHash, live.archHash)
+	}
+
+	// Envelope-record equality, the property /results depends on: a report
+	// over the restored result is byte-identical to one over the live
+	// result, in both stable and wall-clock modes.
+	grid := Grid{Benches: []string{"gzip"}}
+	for _, det := range []bool{true, false} {
+		var a, b bytes.Buffer
+		if err := NewReport(grid, []*Result{live}).WriteJSON(&a, EmitOptions{Deterministic: det}); err != nil {
+			t.Fatal(err)
+		}
+		if err := NewReport(grid, []*Result{restored}).WriteJSON(&b, EmitOptions{Deterministic: det}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("deterministic=%v: envelope over restored result differs from live:\n%s\n----\n%s", det, a.Bytes(), b.Bytes())
+		}
+	}
+
+	// Audit parity: the restored result carries the equivalence witness.
+	if w := Audit([]*Result{live, restored}); len(w) != 0 {
+		t.Fatalf("audit over live+restored copies of one run warned: %v", w)
+	}
+}
+
+// TestResultCodecRejectsCorruption: every way an entry can rot decodes into
+// an error (and therefore a cache miss), never into data.
+func TestResultCodecRejectsCorruption(t *testing.T) {
+	key, live := liveResult(t)
+	enc, err := EncodeResult(key, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "decode result"},
+		{"not json", []byte("!!"), "decode result"},
+		{"truncated", enc[:len(enc)/2], "decode result"},
+		{"wrong schema", bytes.Replace(enc, []byte(ResultSchemaV1), []byte("reno.result/v9"), 1), "unsupported schema"},
+		{"bit flip in payload", bytes.Replace(enc, []byte(`"bench": "gzip"`), []byte(`"bench": "gzap"`), 1), "checksum mismatch"},
+		{"checksum tampered", bytes.Replace(enc, []byte(`"checksum": "fnv1a64:`), []byte(`"checksum": "fnv1a64:0`), 1), "checksum"},
+		{"unknown envelope field", bytes.Replace(enc, []byte(`"schema"`), []byte(`"surprise": 1, "schema"`), 1), "decode result"},
+	}
+	for _, c := range cases {
+		if c.name != "empty" && bytes.Equal(c.data, enc) {
+			t.Fatalf("%s: corruption did not change the bytes", c.name)
+		}
+		if _, _, err := DecodeResult(c.data); err == nil {
+			t.Errorf("%s: corrupted record decoded successfully", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestEncodeResultRejectsIncomplete: failures and partials are not
+// persistable — the same rule the in-memory cache applies.
+func TestEncodeResultRejectsIncomplete(t *testing.T) {
+	if _, err := EncodeResult("0000000000000000", nil); err == nil {
+		t.Error("encoded a nil result")
+	}
+	if _, err := EncodeResult("0000000000000000", &Result{Err: "boom"}); err == nil {
+		t.Error("encoded a failed result")
+	}
+	if _, err := EncodeResult("0000000000000000", &Result{Bench: "gzip"}); err == nil {
+		t.Error("encoded a partial result with no pipeline state")
+	}
+}
+
+// TestResultClone: a clone is deep — mutating it (scalars and pipeline
+// state alike) leaves the original untouched.
+func TestResultClone(t *testing.T) {
+	_, live := liveResult(t)
+	c := live.Clone()
+	c.IPC = -1
+	c.Hash = "mutated"
+	c.Pipeline.Cycles = 0
+	c.Pipeline.StopReason = "mutated"
+	if live.IPC == -1 || live.Hash == "mutated" || live.Pipeline.Cycles == 0 || live.Pipeline.StopReason == "mutated" {
+		t.Fatalf("mutating the clone changed the original: %+v", live)
+	}
+	if (*Result)(nil).Clone() != nil {
+		t.Error("nil clone is not nil")
+	}
+}

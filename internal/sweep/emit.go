@@ -101,12 +101,21 @@ func (r *Result) record(opts EmitOptions) metrics.Record {
 	}
 
 	var set *metrics.Set
-	if r.Pipeline != nil {
+	switch {
+	case r.Pipeline != nil:
 		set = r.Pipeline.Metrics()
 		if r.Pipeline.StopReason != "" {
 			attrs[metrics.AttrStopReason] = r.Pipeline.StopReason
 		}
-	} else {
+	case r.restored != nil:
+		// Decoded from a persistent store: the full metric set was
+		// captured at encode time. Clone before the wall-clock metrics
+		// are layered on below — the restored set is shared.
+		set = cloneSet(r.restored)
+		if r.restoredStop != "" {
+			attrs[metrics.AttrStopReason] = r.restoredStop
+		}
+	default:
 		// The run failed (or was canceled before completing): emit the
 		// partial headline counters the pool recorded.
 		set = metrics.NewSet().

@@ -27,6 +27,7 @@ import (
 
 	"reno/internal/pipeline"
 	"reno/internal/workload"
+	"reno/metrics"
 )
 
 // Job is one pending (benchmark, machine, RENO config, seed) simulation.
@@ -129,6 +130,12 @@ type Result struct {
 	// buildFailed marks Err as a workload construction failure (the
 	// program never ran) rather than a simulation error.
 	buildFailed bool
+	// restored carries the full pipeline metric set (and stop reason)
+	// captured when the result was encoded for a persistent store
+	// (codec.go). A decoded result has no live Pipeline, but emits the
+	// identical envelope record through this set instead.
+	restored     *metrics.Set
+	restoredStop string
 }
 
 // BuildFailed reports whether the run's workload could not even be built —
@@ -414,7 +421,9 @@ func hashResult(r *Result) string {
 // Audit checks architectural equivalence: every successful run of the same
 // (bench, seed) pair — whatever its machine or RENO configuration — must
 // reach the same final architectural state. It returns one warning line per
-// violating run (empty slice = clean).
+// violating run (empty slice = clean). Results restored from a persistent
+// store (DecodeResult) participate exactly like live ones: the recorded
+// architectural hash is the equivalence witness, not the live pipeline.
 func Audit(results []*Result) []string {
 	type groupKey struct {
 		bench string
@@ -423,7 +432,7 @@ func Audit(results []*Result) []string {
 	first := map[groupKey]*Result{}
 	var warnings []string
 	for _, r := range results {
-		if r == nil || r.Err != "" || r.Pipeline == nil {
+		if r == nil || r.Err != "" || r.ArchHash == "" {
 			continue
 		}
 		k := groupKey{r.Bench, r.Seed}
