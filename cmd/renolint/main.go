@@ -1,0 +1,22 @@
+// Command renolint runs reno's domain-invariant static-analysis suite:
+// determinism of result paths, zero-allocation hot loops, config hygiene,
+// lock discipline, and context threading. It speaks the `go vet -vettool`
+// protocol, so the two invocations are equivalent:
+//
+//	renolint ./...
+//	go vet -vettool=$(which renolint) ./...
+//
+// (The first form re-executes the second, letting cmd/go own the build
+// graph.) Findings print as file:line:col with the analyzer name; the exit
+// status is non-zero if any finding is reported. See docs/linting.md for
+// the analyzer catalog and the //lint:ignore suppression policy.
+package main
+
+import (
+	"reno/internal/lint"
+	"reno/internal/lint/analysis"
+)
+
+func main() {
+	analysis.Main(lint.Analyzers()...)
+}

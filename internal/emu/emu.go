@@ -8,6 +8,8 @@
 //  2. Trace feed: the timing simulator is trace-driven (execute-at-fetch);
 //     the emulator supplies the committed dynamic instruction stream with
 //     resolved addresses and branch outcomes.
+//
+//reno:deterministic
 package emu
 
 import (
@@ -244,6 +246,8 @@ func (m *Machine) Step() (Dyn, error) {
 }
 
 // Run executes until halt or until limit instructions have retired.
+//
+//lint:ignore ctxflow bounded synchronous step loop; cancellation happens at cycle granularity in pipeline.RunContext
 func (m *Machine) Run(limit uint64) error {
 	for !m.Halted {
 		if m.ICount >= limit {
@@ -309,6 +313,7 @@ func (m *Machine) StateHash() uint64 {
 	// Memory pages iterate in map order; make the hash order-independent by
 	// combining per-page hashes commutatively.
 	var memH uint64
+	//lint:ignore determinism per-page hashes combine commutatively, so map order cannot reach the result
 	for pn, pg := range m.Mem.pages {
 		ph := uint64(14695981039346656037)
 		ph ^= pn

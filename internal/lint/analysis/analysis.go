@@ -1,0 +1,109 @@
+// Package analysis is a dependency-free reimplementation of the core of
+// golang.org/x/tools/go/analysis, providing exactly the surface renolint's
+// analyzers need: an Analyzer with a name, a Doc string, and a Run function
+// over a type-checked Pass. The repository vendors nothing and builds
+// offline, so the framework is built on the standard library alone; the
+// shapes mirror x/tools deliberately, keeping every analyzer portable to
+// the upstream framework unchanged if the dependency ever becomes
+// available.
+//
+// The package also implements the command-line protocol `go vet -vettool`
+// requires (see unit.go), so a multichecker binary built from these
+// analyzers — cmd/renolint — plugs into the standard build toolchain:
+//
+//	go build -o bin/renolint ./cmd/renolint
+//	go vet -vettool=$PWD/bin/renolint ./...
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check: a name (the key used by
+// //lint:ignore directives and -vettool flag plumbing), a Doc string
+// explaining what it reports and why, and the Run function applied to every
+// package.
+type Analyzer struct {
+	// Name identifies the analyzer. It must be a valid identifier, is
+	// unique within a suite, and is the name //lint:ignore directives
+	// reference.
+	Name string
+
+	// Doc is the analyzer's documentation: first a one-line summary, then
+	// a blank line, then details. It must be non-empty (validated by
+	// Validate and pinned by the repository's pkgdoc test).
+	Doc string
+
+	// Run applies the check to one package and reports findings through
+	// pass.Report. The result value is unused by this framework (it exists
+	// for shape-compatibility with x/tools) and may be nil.
+	Run func(pass *Pass) (any, error)
+}
+
+// String returns the analyzer's name.
+func (a *Analyzer) String() string { return a.Name }
+
+// Validate checks that a suite of analyzers is well formed: non-empty
+// unique names, non-empty docs, and a Run function each.
+func Validate(analyzers []*Analyzer) error {
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		switch {
+		case a == nil:
+			return fmt.Errorf("nil analyzer in suite")
+		case a.Name == "":
+			return fmt.Errorf("analyzer with empty name")
+		case strings.TrimSpace(a.Doc) == "":
+			return fmt.Errorf("analyzer %s: empty Doc", a.Name)
+		case a.Run == nil:
+			return fmt.Errorf("analyzer %s: nil Run", a.Name)
+		case seen[a.Name]:
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// Pass is the input to one Run invocation: a single type-checked package.
+type Pass struct {
+	// Analyzer is the check being run (its Name keys suppression).
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. Drivers install it; analyzers usually
+	// call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves a token position against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// IsTestFile reports whether the file sits in a _test.go file. renolint's
+// analyzers guard production invariants (determinism, allocation, locking);
+// tests legitimately use wall clocks, maps, and constructor shortcuts, so
+// every analyzer in the suite skips test files through this predicate.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

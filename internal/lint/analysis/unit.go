@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the driver side of the `go vet -vettool` protocol,
+// mirroring golang.org/x/tools/go/analysis/unitchecker. cmd/go invokes the
+// tool three ways:
+//
+//   - `tool -V=full` — print a version line ending in a build ID; cmd/go
+//     caches vet results keyed on it.
+//   - `tool -flags` — print a JSON description of the tool's flags so
+//     cmd/go can validate user-supplied -vettool flags.
+//   - `tool <objdir>/vet.cfg` — analyze one package unit described by the
+//     JSON config, printing findings to stderr and exiting non-zero if any.
+//
+// Outside those forms, Main treats its arguments as package patterns and
+// re-executes `go vet -vettool=<self> <patterns>`, so `renolint ./...`
+// works directly while cmd/go still owns the build graph.
+
+// unitConfig describes a single package unit, as written by cmd/go to
+// <objdir>/vet.cfg. The field set matches x/tools unitchecker.Config (the
+// contract is owned by cmd/go); fields this driver does not need are kept
+// for strict-free decoding but unused.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a renolint-style multichecker binary. It
+// never returns; the exit status is 0 on success, 1 if any diagnostic was
+// reported, 2 on driver error.
+func Main(analyzers ...*Analyzer) {
+	if err := Validate(analyzers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion(progname)
+			os.Exit(0)
+		case arg == "-V" || arg == "--V":
+			fmt.Printf("%s version devel\n", progname)
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			// No tool-specific flags beyond the protocol ones; an empty
+			// list tells cmd/go every user-supplied flag is unknown.
+			fmt.Println("[]")
+			os.Exit(0)
+		case arg == "-h" || arg == "-help" || arg == "--help":
+			printUsage(progname, analyzers)
+			os.Exit(0)
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		if err := runUnit(args[0], analyzers); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(2)
+		}
+		os.Exit(0)
+	}
+
+	// Standalone mode: delegate the build graph to cmd/go, pointing vet
+	// back at this binary.
+	os.Exit(standalone(progname, args))
+}
+
+// printVersion emits the `-V=full` line cmd/go uses as a cache key: the
+// tool name plus a content hash of its own executable, so rebuilding
+// renolint invalidates stale vet results.
+func printVersion(progname string) {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err2 := os.Open(exe); err2 == nil {
+			h := sha256.New()
+			_, _ = io.Copy(h, f)
+			f.Close()
+			fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+			return
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=unknown\n", progname)
+}
+
+func printUsage(progname string, analyzers []*Analyzer) {
+	fmt.Printf("%s: reno's domain-invariant static-analysis suite\n\n", progname)
+	fmt.Printf("Usage:\n  %s [packages]          analyze packages (runs `go vet -vettool`)\n", progname)
+	fmt.Printf("  go vet -vettool=$(which %s) [packages]\n\nAnalyzers:\n", progname)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("  %-14s %s\n", a.Name, doc)
+	}
+	fmt.Printf("\nSuppress a finding with `//lint:ignore <analyzer> <reason>` on or above\nthe offending line; the reason must be non-empty. See docs/linting.md.\n")
+}
+
+// standalone re-executes `go vet -vettool=<self>` over the given package
+// patterns (default ".").
+func standalone(progname string, patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cannot locate own executable: %v\n", progname, err)
+		return 2
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "%s: go vet: %v\n", progname, err)
+		return 2
+	}
+	return 0
+}
+
+// runUnit analyzes one package unit described by a vet.cfg file. It exits
+// the process with status 1 (after printing diagnostics) when findings
+// exist; it returns an error only for driver-level failures.
+func runUnit(cfgPath string, analyzers []*Analyzer) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("cannot decode JSON config file %s: %v", cfgPath, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		// The go command disallows packages with no Go files; an empty
+		// unit (e.g. cgo-only) has nothing to analyze.
+		return writeVetx(cfg.VetxOutput)
+	}
+	// go vet feeds the tool every unit in the build graph, including the
+	// standard library and (in principle) third-party modules. renolint's
+	// invariants are this repository's, so only units belonging to a main
+	// module are analyzed: standard-library units carry no module path.
+	if cfg.ModulePath == "" || cfg.Standard[cfg.ImportPath] ||
+		(cfg.ImportPath != cfg.ModulePath && !strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/")) {
+		return writeVetx(cfg.VetxOutput)
+	}
+
+	fset := token.NewFileSet()
+	diags, err := analyzeUnit(fset, &cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// Standard vet workflow: the compiler will report the error.
+			return writeVetx(cfg.VetxOutput)
+		}
+		return err
+	}
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		return err
+	}
+	if len(diags) > 0 {
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
+		os.Exit(1)
+	}
+	return nil
+}
+
+// writeVetx records the (empty) fact set for the unit. cmd/go opens this
+// file after the tool exits to register the action as built, so it must
+// exist even though renolint's analyzers exchange no facts.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, nil, 0o666)
+}
+
+// analyzeUnit parses and type-checks the unit's files, then runs every
+// analyzer over the resulting package.
+func analyzeUnit(fset *token.FileSet, cfg *unitConfig, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the import map to the export data the go
+	// command already produced for each dependency.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// Path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			if cfg.Compiler == "gccgo" && cfg.Standard[path] {
+				return nil, nil // fall back to default gccgo lookup
+			}
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Message = a.Name + ": " + d.Message
+			diags = append(diags, d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
+// newTypesInfo allocates the full set of type-checker result maps every
+// analyzer may consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// importerFunc adapts a function to types.Importer (as in x/tools).
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+
+	"reno/internal/lint/analysis"
+)
+
+// ConfigHygiene enforces the declarative-config contract on structs marked
+// //reno:config (pipeline.Config, reno.Config, sweep.Grid): every exported
+// field must round-trip through JSON and be considered by Validate, so a
+// field added to a struct can never silently fail to serialize or escape
+// validation.
+var ConfigHygiene = &analysis.Analyzer{
+	Name: "confighygiene",
+	Doc: `checks JSON tags and Validate coverage on //reno:config structs
+
+Structs annotated with a //reno:config directive are the declarative
+surface of the simulator: they are populated from JSON specs, hashed into
+run keys, and validated before use. For each such struct this analyzer
+reports:
+
+  - an exported field with no explicit json struct tag (the field would
+    serialize under its Go name — or not at all — without review);
+  - a struct with no Validate() error method;
+  - an exported scalar numeric field that is never mentioned inside the
+    Validate method body (the field escapes range checking; either
+    validate it or suppress with a reason stating why every value is
+    legal).
+
+Bool, string, slice, and struct-typed fields are exempt from the Validate
+mention requirement (they rarely carry range constraints); the json-tag
+requirement applies to every exported field.`,
+	Run: runConfigHygiene,
+}
+
+func runConfigHygiene(pass *analysis.Pass) (any, error) {
+	validateBodies := collectValidateMentions(pass)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if !hasDirective(gd.Doc, "//reno:config") && !hasDirective(ts.Doc, "//reno:config") {
+					continue
+				}
+				mentions, hasValidate := validateBodies[ts.Name.Name]
+				if !hasValidate {
+					pass.Reportf(ts.Pos(), "config struct %s has no Validate() error method", ts.Name.Name)
+				}
+				checkConfigStruct(pass, ts.Name.Name, st, mentions, hasValidate)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkConfigStruct(pass *analysis.Pass, name string, st *ast.StructType, mentions map[string]bool, hasValidate bool) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue // embedded fields carry their own contract
+		}
+		tagged := hasJSONTag(field.Tag)
+		for _, fname := range field.Names {
+			if !fname.IsExported() {
+				continue
+			}
+			if !tagged {
+				pass.Reportf(fname.Pos(), "exported field %s.%s has no json tag; config structs must serialize declaratively", name, fname.Name)
+			}
+			if hasValidate && isScalarNumeric(pass, fname) && !mentions[fname.Name] {
+				pass.Reportf(fname.Pos(), "field %s.%s is not examined by (%s).Validate; validate it or suppress with a reason", name, fname.Name, name)
+			}
+		}
+	}
+}
+
+// hasJSONTag reports whether a struct tag carries an explicit, non-empty
+// json key (json:"-" counts: omitting a field is an explicit decision).
+func hasJSONTag(tag *ast.BasicLit) bool {
+	if tag == nil {
+		return false
+	}
+	raw, err := strconv.Unquote(tag.Value)
+	if err != nil {
+		return false
+	}
+	val, ok := reflect.StructTag(raw).Lookup("json")
+	return ok && val != ""
+}
+
+// isScalarNumeric reports whether the field's type is (or is named with
+// underlying) integer or float.
+func isScalarNumeric(pass *analysis.Pass, field *ast.Ident) bool {
+	obj := pass.TypesInfo.Defs[field]
+	if obj == nil {
+		return false
+	}
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsInteger|types.IsFloat) != 0
+}
+
+// collectValidateMentions maps receiver type name -> the set of
+// identifiers and selector names appearing in its Validate method body.
+func collectValidateMentions(pass *analysis.Pass) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Validate" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			recv := receiverTypeName(fn)
+			if recv == "" {
+				continue
+			}
+			names := map[string]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Ident:
+					names[n.Name] = true
+				case *ast.SelectorExpr:
+					names[n.Sel.Name] = true
+				}
+				return true
+			})
+			out[recv] = names
+		}
+	}
+	return out
+}
+
+// receiverTypeName extracts the bare receiver type name of a method
+// declaration (dereferencing a pointer receiver).
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) != 1 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}

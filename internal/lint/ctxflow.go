@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"reno/internal/lint/analysis"
+)
+
+// CtxFlow enforces context threading in library packages: exported Run*
+// and Execute* entry points must accept a context.Context, and
+// context.Background()/TODO() may appear only inside the repository's
+// convenience-wrapper idiom (a one-statement function delegating to its
+// context-taking sibling). Roots belong in cmd/ binaries; library code
+// that mints its own root context cannot be cancelled by its caller.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: `checks context.Context threading in library packages
+
+In non-main, non-test packages this analyzer reports:
+
+  - an exported Run* or Execute* function or method whose first parameter
+    is not a context.Context, unless its whole body is a single statement
+    delegating to a sibling with context.Background() as the first
+    argument (the documented convenience-wrapper idiom, e.g.
+    func (s *Sim) Run(o Opts) (..) { return s.RunContext(context.Background(), o) });
+  - any other call to context.Background() or context.TODO(): a library
+    that roots its own context cannot be cancelled or given a deadline by
+    its caller. Thread ctx from the caller, or add a *Context variant and
+    make the old name a wrapper.
+
+Genuinely caller-independent lifetimes (none remain in this repository)
+need //lint:ignore ctxflow <reason>.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil // binaries own their root contexts
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			wrapper := isBackgroundWrapper(pass, fn)
+			if isRunEntryPoint(fn) && !wrapper && !firstParamIsContext(pass, fn) {
+				pass.Reportf(fn.Name.Pos(),
+					"exported entry point %s must take a context.Context first parameter (or be a one-line wrapper over its *Context sibling)", fn.Name.Name)
+			}
+			if wrapper {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := contextRootCall(pass, call); name != "" {
+					pass.Reportf(call.Pos(),
+						"context.%s() in library code; thread ctx from the caller (roots belong in cmd/)", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isRunEntryPoint reports whether fn is an exported Run*/Execute* entry
+// point. A prefix only counts when it ends the name or is followed by an
+// uppercase rune, so Runs or Executor are not entry points.
+func isRunEntryPoint(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	if !fn.Name.IsExported() {
+		return false
+	}
+	for _, prefix := range []string{"Run", "Execute"} {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		if rest == "" {
+			return true
+		}
+		r, _ := utf8.DecodeRuneInString(rest)
+		if unicode.IsUpper(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstParamIsContext reports whether fn's first parameter is a
+// context.Context.
+func firstParamIsContext(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	params := fn.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[params.List[0].Type]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isBackgroundWrapper matches the convenience-wrapper idiom: a body that
+// is exactly one return (or call) statement whose call passes
+// context.Background() as the first argument.
+func isBackgroundWrapper(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if len(fn.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch stmt := fn.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(stmt.Results) != 1 {
+			return false
+		}
+		call, _ = stmt.Results[0].(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = stmt.X.(*ast.CallExpr)
+	}
+	if call == nil || len(call.Args) == 0 {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.CallExpr)
+	return ok && contextRootCall(pass, first) == "Background"
+}
+
+// contextRootCall returns "Background" or "TODO" if the call is
+// context.Background() / context.TODO(), else "".
+func contextRootCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"reno/internal/lint/analysis"
+)
+
+// Determinism flags nondeterminism sources in packages that declare the
+// //reno:deterministic marker (internal/pipeline, internal/emu,
+// internal/sweep): simulation and sweep result paths must be pure
+// functions of their inputs so that -stable output is byte-identical
+// across worker counts and the run-key result cache can replay a stored
+// record as truth.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `reports nondeterminism sources in //reno:deterministic packages
+
+Packages carrying a //reno:deterministic marker comment promise that
+every emitted byte (envelope records, hashes, JSON, CSV) is a pure
+function of the simulated program and configuration. Within such a
+package this analyzer reports:
+
+  - iteration over a map whose body does anything beyond collecting keys
+    for later sorting or deleting entries (map order would leak into
+    results);
+  - calls to time.Now / time.Since / time.Until (wall-clock reads);
+  - calls to the global math/rand generators (unseeded process-global
+    state; construct an explicitly seeded rand.New(rand.NewSource(seed))
+    instead);
+  - calls to os.Getenv / os.LookupEnv / os.Environ (ambient environment
+    reads that make output machine-dependent).
+
+Suppress a justified exception — e.g. wall-clock telemetry that is
+explicitly excluded from result hashes — with
+//lint:ignore determinism <reason>.`,
+	Run: runDeterminism,
+}
+
+// nondetFuncs maps package path -> function names whose results depend on
+// process or machine state rather than program inputs.
+var nondetFuncs = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+// randConstructors are the explicitly seeded math/rand entry points that
+// remain allowed: deterministic given their arguments.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	marked := false
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		if fileHasDirective(f, "//reno:deterministic") {
+			marked = true
+			break
+		}
+	}
+	if !marked {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkMapRange reports a range over a map unless the body is one of the
+// two order-insensitive idioms: collecting keys into a slice (to be sorted
+// before use) or deleting entries.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if isKeyCollectLoop(rng) || isDeleteLoop(rng) {
+		return
+	}
+	pass.Reportf(rng.For,
+		"map iteration order is random; iterate a sorted key slice instead (or collect keys and sort)")
+}
+
+// isKeyCollectLoop matches `for k := range m { keys = append(keys, k) }`:
+// the only statement appends the key to a slice, so iteration order cannot
+// be observed once the collector is sorted.
+func isKeyCollectLoop(rng *ast.RangeStmt) bool {
+	if rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// isDeleteLoop matches `for k := range m { delete(m2, k) }` and
+// conditional variants whose only effect is delete — order-insensitive set
+// subtraction.
+func isDeleteLoop(rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	stmt := rng.Body.List[0]
+	if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Else == nil && len(ifs.Body.List) == 1 {
+		stmt = ifs.Body.List[0]
+	}
+	expr, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	return ok && fn.Name == "delete"
+}
+
+// checkNondetCall reports calls whose results depend on wall clock,
+// process-global RNG state, or the environment.
+func checkNondetCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. a seeded *rand.Rand) are fine
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	if names, ok := nondetFuncs[path]; ok && names[name] {
+		pass.Reportf(call.Pos(), "call to %s.%s in a deterministic package (results must be pure functions of inputs)", path, name)
+		return
+	}
+	if (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name] {
+		pass.Reportf(call.Pos(), "call to global %s.%s; use an explicitly seeded rand.New(rand.NewSource(seed))", path, name)
+	}
+}

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"reno/internal/lint/analysis"
+)
+
+// HotAlloc flags allocation-inducing constructs inside functions marked
+// with the //reno:hotpath directive — the per-cycle pipeline loop and the
+// rename/squash optimizer scratch paths whose zero-allocation property is
+// pinned at runtime by TestSteadyStateCommitPathZeroAllocs. The analyzer
+// complements that test by pointing at the offending line at vet time.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: `reports allocation sources inside //reno:hotpath functions
+
+Functions annotated with a //reno:hotpath directive comment run once per
+simulated cycle (or per renamed group) and must not allocate in steady
+state. Inside such functions this analyzer reports:
+
+  - calls into package fmt (formatting allocates and boxes arguments);
+  - function literals (closures capture and allocate; hoist to a method
+    or package-level func value);
+  - append to a slice declared in-function without capacity (var s []T,
+    s := []T{}, s := make([]T, 0)); reuse a presized scratch buffer
+    (buf = s.scratch[:0]) instead;
+  - make / new / &T{} / map and slice literals (direct heap allocation);
+  - passing a concrete value where a parameter is an interface (the
+    argument is boxed onto the heap);
+  - non-constant string concatenation.
+
+Cold error paths inside a hot function can be suppressed with
+//lint:ignore hotalloc <reason>.`,
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, "//reno:hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	unpresized := collectUnpresizedSlices(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot path allocates; hoist it to a method or package-level func value")
+			return false // the literal's own body is cold by definition
+		case *ast.CallExpr:
+			checkHotCall(pass, n, unpresized)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in hot path allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map, *types.Slice:
+				pass.Reportf(n.Pos(), "%s literal in hot path allocates", kindName(tv.Type))
+			}
+		case *ast.BinaryExpr:
+			checkHotConcat(pass, n)
+		}
+		return true
+	})
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return t.String()
+}
+
+// collectUnpresizedSlices returns the objects of slice variables declared
+// inside fn with no capacity: var s []T, s := []T{}, or s := make([]T, 0).
+// Appending to one of these grows from nil and allocates; appending to a
+// presized scratch buffer (s := p.buf[:0]) does not and is not collected.
+func collectUnpresizedSlices(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(id ast.Expr) {
+		ident, ok := id.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[ident]; obj != nil {
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				if at, ok := vs.Type.(*ast.ArrayType); ok && at.Len == nil {
+					for _, name := range vs.Names {
+						mark(name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				switch v := rhs.(type) {
+				case *ast.CompositeLit:
+					if len(v.Elts) == 0 {
+						mark(n.Lhs[i])
+					}
+				case *ast.CallExpr:
+					if fn, ok := v.Fun.(*ast.Ident); ok && fn.Name == "make" && len(v.Args) == 2 {
+						if lit, ok := v.Args[1].(*ast.BasicLit); ok && lit.Value == "0" {
+							mark(n.Lhs[i])
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotCall(pass *analysis.Pass, call *ast.CallExpr, unpresized map[types.Object]bool) {
+	// Builtins: append to an un-presized local; make/new allocate.
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); isBuiltin {
+			switch ident.Name {
+			case "append":
+				if base, ok := call.Args[0].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[base]; obj != nil && unpresized[obj] {
+						pass.Reportf(call.Pos(), "append to un-presized slice %s allocates as it grows; reuse a presized scratch buffer", base.Name)
+					}
+				}
+			case "make":
+				pass.Reportf(call.Pos(), "make in hot path allocates; hoist the buffer to struct state")
+			case "new":
+				pass.Reportf(call.Pos(), "new in hot path allocates; hoist to struct state")
+			}
+			return
+		}
+	}
+
+	callee := calleeFunc(pass, call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path allocates; move formatting off the per-cycle path", callee.Name())
+		return
+	}
+
+	// Interface boxing: a concrete argument passed to an interface
+	// parameter escapes to the heap.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if at.IsNil() {
+			continue
+		}
+		if _, argIface := at.Type.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s (heap allocation); use a concrete parameter type", at.Type, pt)
+	}
+}
+
+// checkHotConcat reports non-constant string concatenation.
+func checkHotConcat(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.ADD {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[bin]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		pass.Reportf(bin.OpPos, "string concatenation in hot path allocates")
+	}
+}
+
+// calleeFunc resolves a call's static callee, if any.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// callSignature returns the signature of the called function or func
+// value, or nil for type conversions and unresolvable calls.
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

@@ -1,0 +1,152 @@
+// Package lint implements renolint: a suite of custom static analyzers
+// that encode this repository's domain invariants — deterministic result
+// paths, zero-allocation hot loops, declarative config hygiene, lock
+// discipline, and context threading — as compile-time checks runnable via
+// `go vet -vettool=$(which renolint) ./...`.
+//
+// Each invariant was originally won at runtime and pinned by end-to-end
+// tests (byte-identical -stable sweeps, the steady-state zero-alloc test,
+// config JSON round-trips, race-clean service runs). The analyzers here
+// move those properties forward in the development loop: a violating line
+// is flagged at vet time, with the offending position, before any test
+// runs. See docs/linting.md for the analyzer catalog and suppression
+// policy.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"reno/internal/lint/analysis"
+)
+
+// Analyzers returns the full renolint suite, each analyzer wrapped with
+// //lint:ignore suppression handling. The order is fixed (alphabetical) so
+// driver output is deterministic.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		suppressible(ConfigHygiene),
+		suppressible(CtxFlow),
+		suppressible(Determinism),
+		suppressible(HotAlloc),
+		suppressible(LockCheck),
+	}
+}
+
+// ignoreRE matches suppression directives: //lint:ignore <analyzer> <reason>.
+// The reason is everything after the analyzer name; the suppression layer
+// rejects directives whose reason is empty.
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)[ \t]*(.*)$`)
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	file     string
+	line     int
+}
+
+// suppressible wraps an analyzer so that diagnostics on (or on the line
+// below) a matching //lint:ignore directive are dropped, and directives
+// naming this analyzer with an empty reason are themselves reported. The
+// wrapper mutates nothing: it returns a new Analyzer sharing the name and
+// doc.
+func suppressible(a *analysis.Analyzer) *analysis.Analyzer {
+	inner := a.Run
+	wrapped := *a
+	wrapped.Run = func(pass *analysis.Pass) (any, error) {
+		dirs := collectDirectives(pass)
+		// A directive must justify itself: naming this analyzer without a
+		// reason is a finding, not a suppression.
+		suppressed := map[string]map[int]bool{}
+		report := pass.Report
+		for _, d := range dirs {
+			if d.analyzer != pass.Analyzer.Name {
+				continue
+			}
+			if d.reason == "" {
+				report(analysis.Diagnostic{
+					Pos:     d.pos,
+					Message: "lint:ignore " + d.analyzer + " needs a non-empty reason",
+				})
+				continue
+			}
+			lines := suppressed[d.file]
+			if lines == nil {
+				lines = map[int]bool{}
+				suppressed[d.file] = lines
+			}
+			// A directive covers its own line (trailing comment) and the
+			// line below it (standalone comment above the finding).
+			lines[d.line] = true
+			lines[d.line+1] = true
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			p := pass.Position(d.Pos)
+			if lines := suppressed[p.Filename]; lines != nil && lines[p.Line] {
+				return
+			}
+			report(d)
+		}
+		defer func() { pass.Report = report }()
+		return inner(pass)
+	}
+	return &wrapped
+}
+
+// collectDirectives parses every //lint:ignore comment in the pass's
+// non-test files.
+func collectDirectives(pass *analysis.Pass) []directive {
+	var out []directive
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := pass.Position(c.Pos())
+				out = append(out, directive{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					pos:      c.Pos(),
+					file:     p.Filename,
+					line:     p.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether a doc comment group carries the given
+// machine directive (e.g. //reno:hotpath), optionally followed by
+// free-text explanation on the same line.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == name || strings.HasPrefix(c.Text, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileHasDirective reports whether any comment in the file carries the
+// directive (used for package-scope markers like //reno:deterministic).
+func fileHasDirective(f *ast.File, name string) bool {
+	for _, cg := range f.Comments {
+		if hasDirective(cg, name) {
+			return true
+		}
+	}
+	return false
+}

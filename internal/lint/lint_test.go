@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reno/internal/lint"
+	"reno/internal/lint/analysis"
+	"reno/internal/lint/linttest"
+)
+
+// suiteAnalyzer returns the named analyzer from the production suite —
+// wrapped with //lint:ignore suppression handling, exactly as renolint
+// runs it — so the corpora also pin the suppression and missing-reason
+// semantics.
+func suiteAnalyzer(t *testing.T, name string) *analysis.Analyzer {
+	t.Helper()
+	for _, a := range lint.Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("analyzer %q not in suite", name)
+	return nil
+}
+
+func runCorpus(t *testing.T, name string) {
+	t.Helper()
+	linttest.Run(t, filepath.Join("testdata", "src", name), suiteAnalyzer(t, name))
+}
+
+func TestDeterminismCorpus(t *testing.T)   { runCorpus(t, "determinism") }
+func TestHotAllocCorpus(t *testing.T)      { runCorpus(t, "hotalloc") }
+func TestConfigHygieneCorpus(t *testing.T) { runCorpus(t, "confighygiene") }
+func TestLockCheckCorpus(t *testing.T)     { runCorpus(t, "lockcheck") }
+func TestCtxFlowCorpus(t *testing.T)       { runCorpus(t, "ctxflow") }
+
+// TestSuiteWellFormed checks the whole suite passes the framework's own
+// validation: unique names, non-empty docs, runnable.
+func TestSuiteWellFormed(t *testing.T) {
+	analyzers := lint.Analyzers()
+	if len(analyzers) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(analyzers))
+	}
+	if err := analysis.Validate(analyzers); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range analyzers {
+		first, _, _ := strings.Cut(a.Doc, "\n")
+		if strings.TrimSpace(first) == "" {
+			t.Errorf("analyzer %s: Doc must start with a one-line summary", a.Name)
+		}
+	}
+}

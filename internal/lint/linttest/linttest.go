@@ -1,0 +1,190 @@
+// Package linttest is a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over a
+// corpus directory under testdata/src and checks the reported diagnostics
+// against `// want "regexp"` comments in the corpus sources.
+//
+// Expectations use the analysistest convention: a comment of the form
+//
+//	code() // want "first finding" "second finding"
+//
+// declares that the analyzer must report, on that line, one diagnostic
+// matching each quoted regular expression — no more, no fewer. A corpus
+// file with no want comments is a non-flagging (negative) case and must
+// produce no diagnostics.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"reno/internal/lint/analysis"
+)
+
+// Run applies the analyzer to the package rooted at dir (e.g.
+// "testdata/src/determinism") and reports any mismatch between produced
+// diagnostics and // want expectations as test errors.
+//
+//lint:ignore ctxflow test-harness entry point; lifetime belongs to *testing.T, there is no context to thread
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parse corpus %s: %v", dir, err)
+	}
+	pkg, info, err := typecheck(fset, dir, files)
+	if err != nil {
+		t.Fatalf("typecheck corpus %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+		if !consumeWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func consumeWant(ws []*want, message string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return files, nil
+}
+
+// srcImporter type-checks standard-library dependencies from GOROOT
+// source. It is shared across corpora (stdlib packages are cached inside
+// the importer) and serialized by a mutex because the source importer is
+// not documented as concurrency-safe.
+var (
+	srcImporterMu sync.Mutex
+	srcImporter   = importer.ForCompiler(token.NewFileSet(), "source", nil)
+)
+
+func typecheck(fset *token.FileSet, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	srcImporterMu.Lock()
+	defer srcImporterMu.Unlock()
+	conf := &types.Config{Importer: srcImporter}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	return pkg, info, err
+}
+
+var wantStringRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants parses every `// want "re" ...` comment into per-line
+// expectations keyed by "file.go:line".
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	out := map[string][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				// `// want:next` declares expectations for the following
+				// line — needed when the flagged line is itself a comment
+				// (e.g. a //lint:ignore directive with a missing reason).
+				offset := 0
+				if strings.HasPrefix(body, "want:next ") {
+					body = "want " + body[len("want:next "):]
+					offset = 1
+				}
+				if !strings.HasPrefix(body, "want ") {
+					continue
+				}
+				spec := body[len("want "):]
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line+offset)
+				for _, q := range wantStringRE.FindAllString(spec, -1) {
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", p, q, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", p, raw, err)
+					}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}

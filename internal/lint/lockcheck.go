@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"reno/internal/lint/analysis"
+)
+
+// LockCheck verifies the mutex discipline documented by `// guarded by
+// <mu>` field comments in the concurrent layers (internal/service): any
+// function that touches a guarded field must either take the named mutex
+// itself or declare — by the *Locked naming convention — that its caller
+// already holds it.
+var LockCheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: `checks that fields annotated "guarded by <mu>" are accessed under the mutex
+
+A struct field whose comment contains "guarded by <mu>" names the mutex
+that protects it. This analyzer reports any access to such a field from a
+function that neither:
+
+  - calls <mu>.Lock() or <mu>.RLock() on a value of the owning struct
+    type (the presence of the acquisition in the enclosing function is
+    the checked contract), nor
+  - is named with the *Locked suffix (the repository convention for
+    helpers whose callers hold the lock).
+
+Initialization belongs inside the owning composite literal, before the
+value is published — a bare write after construction is reported like any
+other unlocked access.`,
+	Run: runLockCheck,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// guard describes one annotated field: the mutex field name and the named
+// struct type that owns both.
+type guard struct {
+	mu    string
+	owner types.Type
+	field string
+}
+
+func runLockCheck(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // caller-holds convention
+			}
+			checkLockedAccesses(pass, fn, guards)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards finds every field annotated `// guarded by <mu>` across
+// the package's struct declarations.
+func collectGuards(pass *analysis.Pass) map[types.Object]guard {
+	out := map[types.Object]guard{}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			owner := pass.TypesInfo.Defs[ts.Name]
+			if owner == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = guard{mu: mu, owner: owner.Type(), field: name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, or "" if the field is unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// heldMutex records one `<base>.<mu>.Lock()` acquisition found in a
+// function body: the mutex field name and the type of the base value.
+type heldMutex struct {
+	mu    string
+	owner types.Type
+}
+
+func checkLockedAccesses(pass *analysis.Pass, fn *ast.FuncDecl, guards map[types.Object]guard) {
+	held := collectHeldMutexes(pass, fn)
+	holds := func(g guard) bool {
+		for _, h := range held {
+			if h.mu == g.mu && types.Identical(h.owner, g.owner) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil {
+			return true
+		}
+		g, guarded := guards[obj]
+		if !guarded || holds(g) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s, but %s neither locks it nor is named *Locked",
+			typeName(g.owner), g.field, g.mu, fn.Name.Name)
+		return true
+	})
+}
+
+// collectHeldMutexes finds every `<base>.<mu>.Lock()` / `.RLock()` call in
+// the function body and records which struct type's mutex it acquires.
+func collectHeldMutexes(pass *analysis.Pass, fn *ast.FuncDecl) []heldMutex {
+	var held []heldMutex
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		lockSel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (lockSel.Sel.Name != "Lock" && lockSel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := lockSel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		baseTV, ok := pass.TypesInfo.Types[muSel.X]
+		if !ok {
+			return true
+		}
+		owner := baseTV.Type
+		if ptr, isPtr := owner.Underlying().(*types.Pointer); isPtr {
+			owner = ptr.Elem()
+		}
+		held = append(held, heldMutex{mu: muSel.Sel.Name, owner: owner})
+		return true
+	})
+	return held
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

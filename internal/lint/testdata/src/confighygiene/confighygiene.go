@@ -1,0 +1,63 @@
+// Package confighygiene is the golden corpus for the confighygiene
+// analyzer.
+package confighygiene
+
+import "errors"
+
+// Good is fully tagged and every numeric field is examined by Validate:
+// not flagged.
+//
+//reno:config
+type Good struct {
+	Width int    `json:"width"`
+	Name  string `json:"name"`
+	Exact bool   `json:"exact"`
+}
+
+func (g *Good) Validate() error {
+	if g.Width <= 0 {
+		return errors.New("width must be positive")
+	}
+	return nil
+}
+
+//reno:config
+type Bad struct {
+	Width int     `json:"width"`
+	Depth int     // want "no json tag"
+	Rate  float64 `json:"rate"` // want "not examined by"
+}
+
+func (b *Bad) Validate() error {
+	if b.Width <= 0 || b.Depth <= 0 {
+		return errors.New("bad dimensions")
+	}
+	return nil
+}
+
+//reno:config
+type NoValidate struct { // want "has no Validate"
+	Limit int `json:"limit"`
+}
+
+// Plain is unannotated: the same violations are not flagged.
+type Plain struct {
+	Secret int
+}
+
+// Tuned suppresses the Validate-mention requirement for a field whose
+// whole range is legal.
+//
+//reno:config
+type Tuned struct {
+	//lint:ignore confighygiene 0 means unbounded; every value is legal
+	Span uint64 `json:"span"`
+	Cap  int    `json:"cap"`
+}
+
+func (t *Tuned) Validate() error {
+	if t.Cap < 0 {
+		return errors.New("cap must be >= 0")
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package ctxflow is the golden corpus for the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+type Engine struct{ n int }
+
+// RunContext threads its caller's context: not flagged.
+func (e *Engine) RunContext(ctx context.Context, steps int) int {
+	_ = ctx
+	return steps + e.n
+}
+
+// Run is the documented one-line convenience wrapper: not flagged.
+func (e *Engine) Run(steps int) int {
+	return e.RunContext(context.Background(), steps)
+}
+
+// RunAll lacks both a ctx parameter and the wrapper shape.
+func (e *Engine) RunAll(steps int) int { // want "must take a context.Context"
+	total := 0
+	for i := 0; i < steps; i++ {
+		total += e.RunContext(context.Background(), 1) // want "context.Background"
+	}
+	return total
+}
+
+// Runs is not an entry point (lowercase after the Run prefix): not
+// flagged.
+func (e *Engine) Runs() int { return e.n }
+
+func helper() context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+// newDaemon carries a justified suppression: not flagged.
+func newDaemon() context.Context {
+	//lint:ignore ctxflow daemon-lifetime root; cancellation is via Close, not ctx
+	return context.Background()
+}

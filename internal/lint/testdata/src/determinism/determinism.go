@@ -1,0 +1,81 @@
+// Package determinism is the golden corpus for the determinism analyzer.
+//
+//reno:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// emitCounts observes map iteration order: flagged.
+func emitCounts(m map[string]int, sink func(string, int)) {
+	for k, v := range m { // want "map iteration order is random"
+		sink(k, v)
+	}
+}
+
+// emitSorted uses the collect-then-sort idiom: not flagged.
+func emitSorted(m map[string]int, sink func(string, int)) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sink(k, m[k])
+	}
+}
+
+// purge performs order-insensitive set subtraction: not flagged.
+func purge(m map[string]int, dead map[string]bool) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+// purgeNegative deletes conditionally: still order-insensitive.
+func purgeNegative(m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func jitter() int {
+	return rand.Intn(8) // want "math/rand.Intn"
+}
+
+// seeded RNG construction is deterministic given its inputs: not flagged.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+func env() string {
+	return os.Getenv("RENO_HOME") // want "os.Getenv"
+}
+
+// telemetry carries a justified suppression: not flagged.
+func telemetry(f func()) int64 {
+	//lint:ignore determinism wall time is telemetry only, excluded from result hashes
+	t0 := time.Now()
+	f()
+	//lint:ignore determinism wall time is telemetry only, excluded from result hashes
+	return time.Since(t0).Nanoseconds()
+}
+
+// badSuppression has no reason: the directive itself is a finding and
+// suppresses nothing.
+func badSuppression() int64 {
+	// want:next "needs a non-empty reason"
+	//lint:ignore determinism
+	return time.Now().UnixNano() // want "time.Now"
+}

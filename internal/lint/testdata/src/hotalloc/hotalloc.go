@@ -1,0 +1,80 @@
+// Package hotalloc is the golden corpus for the hotalloc analyzer.
+package hotalloc
+
+import "fmt"
+
+type sim struct {
+	scratch []int
+	total   int
+}
+
+// step reuses a presized scratch buffer: the warm-loop idiom, not flagged.
+//
+//reno:hotpath
+func (s *sim) step(vals []int) int {
+	buf := s.scratch[:0]
+	for _, v := range vals {
+		buf = append(buf, v*2)
+	}
+	total := 0
+	for _, v := range buf {
+		total += v
+	}
+	s.scratch = buf
+	return total
+}
+
+//reno:hotpath
+func (s *sim) badStep(vals []int) string {
+	var out []int
+	for _, v := range vals {
+		out = append(out, v) // want "un-presized slice out"
+	}
+	name := fmt.Sprintf("step-%d", len(out)) // want "fmt.Sprintf in hot path"
+	fn := func() int { return len(out) }     // want "closure in hot path"
+	_ = fn
+	return name
+}
+
+//reno:hotpath
+func (s *sim) box(v int, log func(any)) {
+	log(v) // want "boxes int into interface"
+}
+
+//reno:hotpath
+func grow() []int {
+	xs := make([]int, 0) // want "make in hot path"
+	return xs
+}
+
+type node struct{ next *node }
+
+//reno:hotpath
+func alloc() *node {
+	return &node{} // want "composite literal in hot path allocates"
+}
+
+//reno:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation in hot path"
+}
+
+// coldPath is unannotated: the same constructs are not flagged.
+func coldPath(vals []int) string {
+	var out []int
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return fmt.Sprintf("cold-%d", len(out))
+}
+
+// guarded suppresses a cold error branch inside a hot function.
+//
+//reno:hotpath
+func guarded(fail bool) error {
+	if fail {
+		//lint:ignore hotalloc cold error path, executed at most once per run
+		return fmt.Errorf("boom")
+	}
+	return nil
+}

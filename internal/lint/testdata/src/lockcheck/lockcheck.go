@@ -1,0 +1,59 @@
+// Package lockcheck is the golden corpus for the lockcheck analyzer.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// inc takes the mutex: not flagged.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) badInc() {
+	c.n++ // want "guarded by mu"
+}
+
+// incLocked declares via its name that the caller holds mu: not flagged.
+func (c *counter) incLocked() {
+	c.n++
+}
+
+// newCounter initializes inside the composite literal, before the value
+// is published: not flagged.
+func newCounter(n int) *counter {
+	return &counter{n: n}
+}
+
+type registry struct {
+	mu    sync.RWMutex
+	items map[string]int // guarded by mu
+}
+
+// get holds a read lock: not flagged.
+func (r *registry) get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.items[k]
+}
+
+func (r *registry) scan() int {
+	total := 0
+	for _, v := range r.items { // want "guarded by mu"
+		total += v
+	}
+	return total
+}
+
+// newRegistry writes a guarded field after construction instead of in the
+// literal: flagged.
+func newRegistry() *registry {
+	r := &registry{}
+	r.items = make(map[string]int) // want "guarded by mu"
+	return r
+}

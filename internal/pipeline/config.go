@@ -14,6 +14,8 @@
 // Pipeline shape (13 stages, Section 4.1): 1 branch predict, 2 instruction
 // cache, 1 decode, 2 rename, 1 dispatch, 1 schedule, 2 register read,
 // 1 execute, 1 complete, 1 retire.
+//
+//reno:deterministic
 package pipeline
 
 import (
@@ -27,6 +29,8 @@ import (
 // is fully declarative and round-trips through JSON, which is how inline
 // machine specs in v2 sweep grids override registry presets field-by-field
 // (see internal/machine and docs/machines.md).
+//
+//reno:config
 type Config struct {
 	Name string `json:"name"`
 
@@ -76,8 +80,10 @@ type Config struct {
 	Reno reno.Config `json:"reno"`
 
 	// MaxInsts bounds the simulated instruction count (0 = run to halt).
+	//lint:ignore confighygiene 0 means run to halt; every uint64 value is a legal bound
 	MaxInsts uint64 `json:"max_insts,omitempty"`
 	// SkipInsts fast-forwards functionally before timing starts (warmup).
+	//lint:ignore confighygiene 0 means no warmup skip; every uint64 value is legal
 	SkipInsts uint64 `json:"skip_insts,omitempty"`
 }
 

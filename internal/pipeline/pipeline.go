@@ -435,6 +435,8 @@ func (s *Sim) finish() *Result {
 // off is always < len(s.rob), so the wrap needs a compare, not a division —
 // issueStage walks the whole window every cycle, making this the hottest
 // address computation in the simulator.
+//
+//reno:hotpath
 func (s *Sim) robPos(off int) *entry {
 	idx := s.robHead + off
 	if idx >= len(s.rob) {
@@ -444,6 +446,8 @@ func (s *Sim) robPos(off int) *entry {
 }
 
 // fqAt returns the fetch-queue entry at offset off from the queue head.
+//
+//reno:hotpath
 func (s *Sim) fqAt(off int) *entry {
 	idx := s.fqHead + off
 	if idx >= fqCap {
@@ -461,6 +465,8 @@ func (s *Sim) fqAt(off int) *entry {
 // capacity-neutral reading of the paper's re-execution scheme — see
 // DESIGN.md §5). A method rather than a per-commitStage closure: the commit
 // stage runs every cycle and must not allocate.
+//
+//reno:hotpath
 func (s *Sim) bookPort(freeAt *uint64, ports int) bool {
 	limit := s.cycle + uint64(s.cfg.RetireQueue)*uint64(ports)
 	if *freeAt > limit {
@@ -475,6 +481,7 @@ func (s *Sim) bookPort(freeAt *uint64, ports int) bool {
 	return true
 }
 
+//reno:hotpath
 func (s *Sim) commitStage() {
 	for k := 0; k < s.cfg.CommitWidth && s.robCount > 0; k++ {
 		e := s.robPos(0)
@@ -543,6 +550,7 @@ func (s *Sim) commitStage() {
 	}
 }
 
+//reno:hotpath
 func (s *Sim) trainBranch(e *entry) {
 	switch isa.ClassOf(e.dyn.Inst) {
 	case isa.ClassBranch:
@@ -566,6 +574,7 @@ func (s *Sim) trainBranch(e *entry) {
 	}
 }
 
+//reno:hotpath
 func (s *Sim) execBucket(e *entry) cpa.Bucket {
 	if e.isLoad {
 		return e.memLevel
@@ -575,6 +584,7 @@ func (s *Sim) execBucket(e *entry) cpa.Bucket {
 
 // ---------------------------------------------------------------- issue
 
+//reno:hotpath
 func (s *Sim) issueStage() {
 	total := s.cfg.IssueTotal
 	ints := s.cfg.IntALUs
@@ -653,6 +663,8 @@ func (s *Sim) issueStage() {
 
 // ready decides whether an IQ entry can be selected this cycle and records
 // the last-arriving constraint for the critical-path analyzer.
+//
+//reno:hotpath
 func (s *Sim) ready(e *entry, off int) bool {
 	// Stores need only the base-address operand to issue; data merges in
 	// the store queue later.
@@ -718,6 +730,8 @@ func (s *Sim) ready(e *entry, off int) bool {
 
 // execLatency returns issue-to-result latency including fusion penalties
 // from the RENO.CF cost model.
+//
+//reno:hotpath
 func (s *Sim) execLatency(e *entry) int {
 	pen := e.ren.FusePenalty
 	switch isa.ClassOf(e.dyn.Inst) {
@@ -740,6 +754,8 @@ func (s *Sim) execLatency(e *entry) int {
 
 // issueLoad resolves a load's completion: store-queue forwarding when an
 // older same-address store has its data, else the cache hierarchy.
+//
+//reno:hotpath
 func (s *Sim) issueLoad(e *entry, off int) {
 	addrReady := e.compC
 	for i := off - 1; i >= 0; i-- {
@@ -767,6 +783,8 @@ func (s *Sim) issueLoad(e *entry, off int) {
 
 // forwardBlocker finds the youngest older address-resolved same-address
 // store whose data is not ready yet.
+//
+//reno:hotpath
 func (s *Sim) forwardBlocker(e *entry, off int) (int, bool) {
 	for i := off - 1; i >= 0; i-- {
 		se := s.robPos(i)
@@ -784,6 +802,8 @@ func (s *Sim) forwardBlocker(e *entry, off int) (int, bool) {
 // checkViolations runs when a store resolves its address: a younger
 // same-address load that already issued without forwarding from this store
 // (or a younger one) read stale data. Reports whether a squash happened.
+//
+//reno:hotpath
 func (s *Sim) checkViolations(st *entry, stOff int) bool {
 	for i := stOff + 1; i < s.robCount; i++ {
 		le := s.robPos(i)
@@ -805,6 +825,8 @@ func (s *Sim) checkViolations(st *entry, stOff int) bool {
 }
 
 // findOlder locates the ROB offset of seq among entries older than limitOff.
+//
+//reno:hotpath
 func (s *Sim) findOlder(seq uint64, limitOff int) (int, bool) {
 	for i := limitOff - 1; i >= 0; i-- {
 		e := s.robPos(i)
@@ -821,6 +843,8 @@ func (s *Sim) findOlder(seq uint64, limitOff int) (int, bool) {
 // squashFrom rolls back ROB offsets [from, robCount) youngest-first —
 // exercising RENO's rollback semantics — and replays them through fetch.
 // causeSeq identifies the resolving instruction for CPA accounting.
+//
+//reno:hotpath
 func (s *Sim) squashFrom(from int, causeSeq uint64) {
 	n := s.robCount - from
 	if n <= 0 {
@@ -880,6 +904,8 @@ var (
 
 // blockOn records the oldest in-flight instruction matching the predicate as
 // the reliever of the current window stall (critical-path provenance).
+//
+//reno:hotpath
 func (s *Sim) blockOn(oldest func(*entry) bool) {
 	s.windowBlocked = true
 	s.windowBlockSeq = s.robPos(0).seq
@@ -891,6 +917,7 @@ func (s *Sim) blockOn(oldest func(*entry) bool) {
 	}
 }
 
+//reno:hotpath
 func (s *Sim) renameStage() {
 	width := s.cfg.RenameWidth
 	group := s.groupBuf[:0]
@@ -1008,6 +1035,7 @@ func (s *Sim) renameStage() {
 // fqCap is the fetch buffer capacity between fetch and rename.
 const fqCap = 32
 
+//reno:hotpath
 func (s *Sim) fetchStage() {
 	if s.cycle < s.redirectUntil {
 		s.res.FetchStallCycles++

@@ -70,6 +70,8 @@ func (k Kind) String() string {
 // configurations are fully declarative: named presets in the
 // internal/machine registry round-trip through JSON, and inline spec objects
 // in v2 sweep grids override them field-by-field.
+//
+//reno:config
 type Config struct {
 	PhysRegs int `json:"phys_regs"` // physical register file size (paper baseline: 160)
 
@@ -290,12 +292,15 @@ func (o *Optimizer) RenameGroup(g []GroupInst) (out []Renamed, n int) {
 // RenameGroupScratch call. The pipeline's rename stage copies each record
 // into its ROB entry immediately, so the steady-state rename path allocates
 // nothing.
+//
+//reno:hotpath
 func (o *Optimizer) RenameGroupScratch(g []GroupInst) (out []Renamed, n int) {
 	out, n = o.renameGroupInto(o.scratch[:0], g)
 	o.scratch = out[:0] // retain the (possibly grown) backing array
 	return out, n
 }
 
+//reno:hotpath
 func (o *Optimizer) renameGroupInto(out []Renamed, g []GroupInst) ([]Renamed, int) {
 	n := 0
 	var elimDest uint32 // bitmask of logical regs written by group-eliminated insts
@@ -317,6 +322,7 @@ func (o *Optimizer) renameGroupInto(out []Renamed, g []GroupInst) ([]Renamed, in
 	return out, n
 }
 
+//reno:hotpath
 func (o *Optimizer) renameOne(gi GroupInst, elimDest uint32) (Renamed, bool) {
 	in := gi.Inst
 	r := Renamed{Inst: in, Src: [2]renamer.Mapping{zeroMap, zeroMap}}
@@ -370,6 +376,8 @@ func (o *Optimizer) renameOne(gi GroupInst, elimDest uint32) (Renamed, bool) {
 // wouldEliminate reports whether in is the kind of instruction the current
 // configuration could eliminate, ignoring dynamic conditions (for the
 // group-dependence cancellation statistic).
+//
+//reno:hotpath
 func (o *Optimizer) wouldEliminate(in isa.Inst) bool {
 	if o.cfg.EnableCF && isa.IsCFCandidate(in) {
 		return true
@@ -382,6 +390,8 @@ func (o *Optimizer) wouldEliminate(in isa.Inst) bool {
 
 // tryEliminate attempts each RENO optimization in priority order and, on
 // success, installs the shared mapping. Returns true if eliminated.
+//
+//reno:hotpath
 func (o *Optimizer) tryEliminate(r *Renamed, gi GroupInst) bool {
 	in := gi.Inst
 
@@ -463,6 +473,8 @@ func (o *Optimizer) tryEliminate(r *Renamed, gi GroupInst) bool {
 
 // lookupIT probes the integration table, tracking whether the hit entry was
 // a reverse (store-created) tuple.
+//
+//reno:hotpath
 func (o *Optimizer) lookupIT(op isa.Op, imm int32, in1, in2 renamer.Mapping) (out renamer.Mapping, val uint64, reverse, hit bool) {
 	out, val, rev, hit := o.it.LookupRev(op, imm, in1, in2)
 	return out, val, rev, hit
@@ -470,6 +482,8 @@ func (o *Optimizer) lookupIT(op isa.Op, imm int32, in1, in2 renamer.Mapping) (ou
 
 // insertForwardTuple installs the IT entry describing the value a
 // non-eliminated instruction is computing.
+//
+//reno:hotpath
 func (o *Optimizer) insertForwardTuple(r *Renamed, gi GroupInst) {
 	if !o.cfg.EnableCSERA || o.it == nil || !o.it.Covers(r.Inst) {
 		return
@@ -496,6 +510,8 @@ func (o *Optimizer) insertForwardTuple(r *Renamed, gi GroupInst) {
 // a store creates the tuple its matching future load will probe, and (in
 // full-integration mode, where CF is not folding them) a stack-pointer
 // decrement creates the tuple the matching increment will probe.
+//
+//reno:hotpath
 func (o *Optimizer) insertReverseTuples(r *Renamed, gi GroupInst) {
 	if !o.cfg.EnableCSERA || o.it == nil {
 		return
@@ -529,6 +545,8 @@ func (o *Optimizer) insertReverseTuples(r *Renamed, gi GroupInst) {
 }
 
 // finishRecord computes the fusion cost classification.
+//
+//reno:hotpath
 func (o *Optimizer) finishRecord(r *Renamed) {
 	if r.Elim {
 		return // eliminated instructions do not execute
@@ -556,6 +574,8 @@ func (o *Optimizer) finishRecord(r *Renamed) {
 //   - fusion into a general shift, multiply, or divide costs +1 cycle;
 //   - with PenalizeAllFusions, everything displaced costs +1 (the
 //     "3-input adder delay cannot be hidden" ablation).
+//
+//reno:hotpath
 func (o *Optimizer) fusePenalty(in isa.Inst, d1, d2 bool) int {
 	if o.cfg.PenalizeAllFusions {
 		return 1
@@ -581,6 +601,8 @@ func (o *Optimizer) fusePenalty(in isa.Inst, d1, d2 bool) int {
 // Commit releases the resources an instruction's retirement frees: the
 // previous mapping of its destination register. Freed registers invalidate
 // their integration-table tuples.
+//
+//reno:hotpath
 func (o *Optimizer) Commit(r *Renamed) {
 	if !r.HasDest {
 		return
@@ -593,6 +615,8 @@ func (o *Optimizer) Commit(r *Renamed) {
 // Squash rolls back one renamed instruction. Records must be presented
 // youngest-first (ROB walk, Section 3.4: re-order buffer immediates have
 // rollback semantics).
+//
+//reno:hotpath
 func (o *Optimizer) Squash(r *Renamed) {
 	if !r.HasDest {
 		return
@@ -607,6 +631,8 @@ func (o *Optimizer) Squash(r *Renamed) {
 // produced a different value than integration promised; the stale tuple is
 // removed so it cannot mis-integrate again. The pipeline squashes younger
 // instructions and replays.
+//
+//reno:hotpath
 func (o *Optimizer) ReexecMismatch(r *Renamed) {
 	if o.it != nil {
 		o.it.InvalidateSignature(isa.OpLd, r.Inst.Imm, r.Src[0], zeroMap)

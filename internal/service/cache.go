@@ -34,12 +34,12 @@ const DefaultCacheEntries = 65536
 // safe — it only costs re-simulation on the next submission.
 type Cache struct {
 	mu     sync.Mutex
-	max    int // 0 = unbounded (resolved in NewCacheSize)
-	m      map[string]*list.Element
-	lru    *list.List // front = most recently used
-	hits   uint64
-	misses uint64
-	evicts uint64
+	max    int                      // guarded by mu; 0 = unbounded (resolved in NewCacheSize)
+	m      map[string]*list.Element // guarded by mu
+	lru    *list.List               // guarded by mu; front = most recently used
+	hits   uint64                   // guarded by mu
+	misses uint64                   // guarded by mu
+	evicts uint64                   // guarded by mu
 }
 
 // cacheEntry is one LRU element.

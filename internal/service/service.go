@@ -109,19 +109,19 @@ type Job struct {
 	created time.Time
 
 	mu        sync.Mutex
-	update    chan struct{} // closed and replaced on every event/state change
-	state     State
-	cancel    context.CancelFunc // set while running
-	cancelled bool               // cancellation requested
-	started   time.Time
-	finished  time.Time
-	done      int
-	failed    int
-	cacheHits int
-	simulated int
-	warnings  int
-	results   []*sweep.Result // set once, when the sweep returns
-	events    []Event
+	update    chan struct{}      // guarded by mu; closed and replaced on every event/state change
+	state     State              // guarded by mu
+	cancel    context.CancelFunc // guarded by mu; set while running
+	cancelled bool               // guarded by mu; cancellation requested
+	started   time.Time          // guarded by mu
+	finished  time.Time          // guarded by mu
+	done      int                // guarded by mu
+	failed    int                // guarded by mu
+	cacheHits int                // guarded by mu
+	simulated int                // guarded by mu
+	warnings  int                // guarded by mu
+	results   []*sweep.Result    // guarded by mu; set once, when the sweep returns
+	events    []Event            // guarded by mu
 }
 
 // ID returns the job's identifier.
@@ -343,14 +343,15 @@ type Service struct {
 	simulated atomic.Uint64 // pipeline runs actually executed, lifetime
 
 	mu     sync.Mutex
-	wake   *sync.Cond // signals pending/closed changes to the runners
-	closed bool
-	seq    int
-	jobs   map[string]*Job
-	order  []string
+	wake   *sync.Cond      // set once in newService, before any runner starts
+	closed bool            // guarded by mu
+	seq    int             // guarded by mu
+	jobs   map[string]*Job // guarded by mu
+	order  []string        // guarded by mu
 	// pending is the FIFO of jobs waiting for a runner. A queued job that
 	// is cancelled is removed immediately, so dead jobs never hold queue
 	// capacity (Submit accounts against len(pending), exactly).
+	// guarded by mu.
 	pending []*Job
 }
 
@@ -368,7 +369,18 @@ var (
 // an unusable directory fails construction rather than silently running
 // without persistence.
 func New(cfg Config) (*Service, error) {
-	s, err := newService(cfg)
+	return NewContext(context.Background(), cfg)
+}
+
+// NewContext is New with an explicit base context: every job context
+// derives from ctx, so cancelling it cancels queued and in-flight work as
+// if Close's drain budget had expired. Note that graceful drain
+// (StopIntake followed by Close with a deadline) does not require a
+// caller context — renoserve deliberately uses New and drives shutdown
+// through those methods so that an interrupt stops intake without killing
+// jobs that can still finish inside the budget.
+func NewContext(ctx context.Context, cfg Config) (*Service, error) {
+	s, err := newService(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -381,8 +393,8 @@ func New(cfg Config) (*Service, error) {
 
 // newService builds the service without starting its runners (tests drive
 // the scheduler by hand through this seam).
-func newService(cfg Config) (*Service, error) {
-	ctx, stop := context.WithCancel(context.Background())
+func newService(parent context.Context, cfg Config) (*Service, error) {
+	ctx, stop := context.WithCancel(parent)
 	s := &Service{
 		cfg:   cfg,
 		cache: NewCacheSize(cfg.CacheEntries),
@@ -469,8 +481,11 @@ func (s *Service) Submit(spec []byte) (*Job, error) {
 		created: time.Now(),
 		update:  make(chan struct{}),
 		state:   StateQueued,
+		// Initialized here, in the literal, rather than written after
+		// construction: every mutation of guarded state once the Job is
+		// reachable goes through j.mu (lockcheck pins this).
+		events: []Event{{Type: "state", State: StateQueued}},
 	}
-	j.events = append(j.events, Event{Type: "state", State: StateQueued})
 	s.pending = append(s.pending, j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)

@@ -295,7 +295,7 @@ func TestCacheLookupAliasing(t *testing.T) {
 func TestCancelWhileDequeued(t *testing.T) {
 	// No runners: the test plays the runner by hand through the newService
 	// seam, freezing the schedule inside the window.
-	s, err := newService(Config{})
+	s, err := newService(context.Background(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestCancelWhileDequeued(t *testing.T) {
 // -race: the runner's run() races Cancel on a freshly dequeued job; in
 // every interleaving the job settles terminal exactly once.
 func TestCancelRaceSettlesOnce(t *testing.T) {
-	s, err := newService(Config{Workers: 1})
+	s, err := newService(context.Background(), Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,5 +442,39 @@ func TestForcedDrainCancelsInFlight(t *testing.T) {
 	}
 	if len(rep.Records) != st.Runs {
 		t.Errorf("partial envelope has %d records, want one per run (%d)", len(rep.Records), st.Runs)
+	}
+}
+
+// TestNewContextParentCancel pins the lifetime contract introduced with
+// NewContext: every job context derives from the caller's base context, so
+// cancelling the parent settles work as cancelled — the behaviour New
+// (base context.Background) can never trigger from outside. The runner is
+// played by hand through the newService seam to keep the schedule
+// deterministic.
+func TestNewContextParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := newService(ctx, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.stop()
+	j, err := s.Submit([]byte(`{"benches":["gzip"],"renos":["BASE"],"max_insts":1000,"scale":0.1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The parent dies before any runner picks the job up.
+	cancel()
+
+	// The runner proceeds as usual: dequeue, then run. The job's context
+	// derives from the dead parent, so the sweep is stillborn and the job
+	// must settle cancelled, not hang or report success.
+	s.mu.Lock()
+	s.pending = s.pending[1:]
+	s.mu.Unlock()
+	s.run(j)
+
+	if st := j.Status(); st.State != StateCancelled {
+		t.Fatalf("state %s after parent cancel, want %s", st.State, StateCancelled)
 	}
 }

@@ -78,8 +78,8 @@ type DiskStore struct {
 	hits, misses, writes, quarantined, writeErrors atomic.Uint64
 
 	mu      sync.Mutex
-	entries map[string]int64 // key → on-disk record size in bytes
-	bytes   int64
+	entries map[string]int64 // guarded by mu; key → on-disk record size in bytes
+	bytes   int64            // guarded by mu
 }
 
 // OpenDiskStore opens (creating if needed) a disk store rooted at dir and
@@ -98,6 +98,10 @@ func OpenDiskStore(dir string) (*DiskStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("result store: %w", err)
 	}
+	// The store has not escaped yet, but indexing mutates guarded state,
+	// so hold the lock anyway: the discipline stays structural (lockcheck)
+	// rather than depending on escape reasoning.
+	s.mu.Lock()
 	for _, de := range glob {
 		key, ok := strings.CutSuffix(de.Name(), ".json")
 		if de.IsDir() || !ok || !validKey(key) {
@@ -110,6 +114,7 @@ func OpenDiskStore(dir string) (*DiskStore, error) {
 		s.entries[key] = size
 		s.bytes += size
 	}
+	s.mu.Unlock()
 	return s, nil
 }
 

@@ -74,6 +74,8 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 // Grid is a declarative experiment grid: the cross product of benchmarks,
 // machine configurations, RENO configurations, and seeds. Its JSON form is
 // the input format of cmd/renosweep (see docs/sweep.md).
+//
+//reno:config
 type Grid struct {
 	// Version is the grid schema version: 0 or 1 for the original
 	// string-only schema, 2 to allow inline spec objects. ParseGridJSON
@@ -105,6 +107,7 @@ type Grid struct {
 	// Scale multiplies workload iteration counts (0 = 1.0).
 	Scale float64 `json:"scale,omitempty"`
 	// MaxInsts caps timed instructions per run (0 = to completion).
+	//lint:ignore confighygiene 0 means run to completion; every uint64 value is a legal cap
 	MaxInsts uint64 `json:"max_insts,omitempty"`
 	// Workers bounds pool concurrency (0 = runtime.GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
@@ -256,11 +259,17 @@ func (g Grid) Options() Options {
 }
 
 // Validate checks the schema-level invariants JSON decoding alone cannot:
-// the version is known and inline specs only appear at version >= 2. Axis
-// contents are validated by Expand.
+// the version is known, the scalar knobs are in range, and inline specs
+// only appear at version >= 2. Axis contents are validated by Expand.
 func (g Grid) Validate() error {
 	if g.Version > GridVersion {
 		return fmt.Errorf("grid spec: unsupported version %d (this build understands <= %d)", g.Version, GridVersion)
+	}
+	if g.Scale < 0 {
+		return fmt.Errorf("grid spec: negative scale %v (omit or 0 means 1.0)", g.Scale)
+	}
+	if g.Workers < 0 {
+		return fmt.Errorf("grid spec: negative workers %d (omit or 0 means GOMAXPROCS)", g.Workers)
 	}
 	if g.Version >= 2 {
 		return nil

@@ -354,3 +354,23 @@ func TestSeedProfileStrideAvoidsNeighborCollision(t *testing.T) {
 		t.Error("seed 0 must be the canonical program")
 	}
 }
+
+// TestGridScalarValidation pins the scalar-knob checks added to
+// Grid.Validate: a negative scale or worker count is a spec typo and must
+// fail loudly at validation (previously a negative scale silently
+// normalized to 1.0 inside Options.scaleOf).
+func TestGridScalarValidation(t *testing.T) {
+	if _, err := ParseGridJSON([]byte(`{"benches":["gzip"],"scale":-2}`)); err == nil {
+		t.Error("negative scale accepted")
+	} else if !strings.Contains(err.Error(), "negative scale") {
+		t.Errorf("unhelpful scale error: %v", err)
+	}
+	if _, err := ParseGridJSON([]byte(`{"benches":["gzip"],"workers":-1}`)); err == nil {
+		t.Error("negative workers accepted")
+	} else if !strings.Contains(err.Error(), "negative workers") {
+		t.Errorf("unhelpful workers error: %v", err)
+	}
+	if _, err := ParseGridJSON([]byte(`{"benches":["gzip"],"scale":0.5,"workers":2}`)); err != nil {
+		t.Errorf("valid scalar knobs rejected: %v", err)
+	}
+}

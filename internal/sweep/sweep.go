@@ -13,6 +13,8 @@
 //
 // The harness package's figure generators run on top of this pool; the
 // renosweep command exposes it directly.
+//
+//reno:deterministic
 package sweep
 
 import (
@@ -363,8 +365,10 @@ func runOne(ctx context.Context, j Job, b *built, opts Options) *Result {
 		rctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
+	//lint:ignore determinism wall time is telemetry only: WallNS is excluded from hashResult and from -stable output
 	t0 := time.Now()
 	res, archHash, err := pipeline.RunProgramContext(rctx, j.Cfg, b.prog.Code, b.warm, opts.MaxInsts, pipeline.RunOptions{})
+	//lint:ignore determinism wall time is telemetry only: WallNS is excluded from hashResult and from -stable output
 	r.WallNS = time.Since(t0).Nanoseconds()
 	if err != nil {
 		r.Err = err.Error()

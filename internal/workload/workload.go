@@ -161,6 +161,8 @@ func MustBuild(p Profile) *Program {
 }
 
 // Run executes the workload functionally and returns the machine.
+//
+//lint:ignore ctxflow bounded synchronous emulation; cancellation happens at cycle granularity in pipeline.RunContext
 func (w *Program) Run(limit uint64) (*emu.Machine, error) {
 	m := emu.New(w.Code)
 	err := m.Run(limit)

@@ -7,23 +7,52 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"reno/internal/lint"
 )
 
 // TestAllInternalPackagesHaveDocComments pins the documentation contract:
 // every internal package carries a package comment, so `go doc
 // ./internal/<pkg>` is useful for all of them. A new package without one
 // fails here rather than silently shipping undocumented. The floor pins the
-// current census (17 packages, internal/service being the newest) so an
-// accidentally deleted directory cannot silently shrink coverage.
+// current census (18 top-level packages, internal/lint being the newest,
+// plus lint's framework subpackages) so an accidentally deleted directory
+// cannot silently shrink coverage.
 func TestAllInternalPackagesHaveDocComments(t *testing.T) {
 	dirs, err := filepath.Glob("internal/*")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dirs) < 17 {
-		t.Fatalf("expected at least 17 internal packages, found %d", len(dirs))
+	if len(dirs) < 18 {
+		t.Fatalf("expected at least 18 internal packages, found %d", len(dirs))
 	}
-	checkDocComments(t, dirs)
+	sub, err := filepath.Glob("internal/lint/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDocComments(t, append(dirs, sub...))
+}
+
+// TestAnalyzersAreDocumented holds the lint suite to the same standard as
+// packages: every analyzer must carry a non-empty Doc whose first line is
+// a usable one-line summary (renolint -help and docs/linting.md are built
+// from these).
+func TestAnalyzersAreDocumented(t *testing.T) {
+	analyzers := lint.Analyzers()
+	if len(analyzers) < 5 {
+		t.Fatalf("lint suite has %d analyzers, want >= 5", len(analyzers))
+	}
+	for _, a := range analyzers {
+		doc := strings.TrimSpace(a.Doc)
+		if doc == "" {
+			t.Errorf("analyzer %s has an empty Doc string", a.Name)
+			continue
+		}
+		first, _, _ := strings.Cut(doc, "\n")
+		if len(strings.Fields(first)) < 3 {
+			t.Errorf("analyzer %s: Doc first line %q is not a usable summary", a.Name, first)
+		}
+	}
 }
 
 // TestPublicPackagesHaveDocComments holds the public API surface to the

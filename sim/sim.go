@@ -188,6 +188,8 @@ func (p *Program) Tag() string {
 // (LoadAsm) have no generating spec, so their assembled code is hashed in
 // place of a benchmark name. Unlike the per-run result hash, RunKey is
 // known before the run executes.
+//
+//lint:ignore ctxflow RunKey derives the cache key and executes nothing; there is no work to cancel
 func (p *Program) RunKey(opts Options) string {
 	bench := p.spec.Bench
 	if bench == "" {
