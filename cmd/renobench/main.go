@@ -17,14 +17,17 @@
 // -scale and -max trade runtime for measurement length.
 //
 // A second mode measures the simulator itself rather than the simulated
-// core: -bench-json times the detailed pipeline on every (machine preset,
-// benchmark) pair and writes BENCH_pipeline.json as a reno.metrics/v1
-// envelope — simulated MIPS, cycles per second, and allocations per
-// kilo-instruction, with the recorded pre-optimization baseline comparison
-// in the summary set (see docs/benchmarking.md and docs/metrics.md):
+// core: -bench-json times the simulator on every (machine preset,
+// benchmark, backend) triple and writes BENCH_pipeline.json as a
+// reno.metrics/v1 envelope — simulated MIPS, cycles per second, and
+// allocations per kilo-instruction, with the recorded pre-optimization
+// baseline comparison in the summary set (see docs/benchmarking.md and
+// docs/metrics.md). Non-detailed backend cells carry an "@backend" key
+// suffix and are excluded from the totals and the baseline speedup:
 //
 //	renobench -bench-json BENCH_pipeline.json
 //	renobench -bench-json out.json -bench-machines 4w -bench-benches gzip -max 30000
+//	renobench -bench-json out.json -bench-backends detailed,approx,functional
 package main
 
 import (
@@ -50,6 +53,7 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "measure simulator throughput and write BENCH_pipeline.json to this path instead of regenerating figures")
 	benchMachines := flag.String("bench-machines", "4w,6w", "machine presets for -bench-json (comma-separated registry specs)")
 	benchBenches := flag.String("bench-benches", "gzip,gsm.de", "workloads for -bench-json (comma-separated)")
+	benchBackends := flag.String("bench-backends", "detailed,functional", "simulation backends for -bench-json (comma-separated: detailed, approx, functional)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,7 +67,8 @@ func main() {
 			max = 100_000
 		}
 		rep, err := harness.BenchPipeline(ctx,
-			strings.Split(*benchMachines, ","), strings.Split(*benchBenches, ","), max, *scale, *timeout)
+			strings.Split(*benchMachines, ","), strings.Split(*benchBenches, ","),
+			strings.Split(*benchBackends, ","), max, *scale, *timeout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "renobench: %v\n", err)
 			os.Exit(1)

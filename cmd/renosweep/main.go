@@ -54,6 +54,7 @@ func main() {
 		seeds    = flag.String("seeds", "0", "comma-separated workload seed offsets")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		maxInsts = flag.Uint64("max", 300_000, "timed instructions per run (0 = to completion)")
+		backend  = flag.String("backend", "", "simulation backend: detailed (default), approx, or functional")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none; timed-out runs fail with partial stats)")
 		gridPath = flag.String("grid", "", "JSON grid spec file (overrides the grid axis flags)")
@@ -82,7 +83,7 @@ func main() {
 		return
 	}
 
-	grid, err := buildGrid(*gridPath, *benches, *machines, *renos, *seeds, *scale, *maxInsts, setFlags)
+	grid, err := buildGrid(*gridPath, *benches, *machines, *renos, *seeds, *backend, *scale, *maxInsts, setFlags)
 	if err != nil {
 		fatal(err)
 	}
@@ -167,7 +168,7 @@ func validateSpec(w io.Writer, path string) error {
 // explicit "max_insts": 0 (run to completion), which is why presence on the
 // command line is tracked via setFlags rather than by comparing against
 // flag defaults.
-func buildGrid(path, benches, machines, renos, seeds string, scale float64, maxInsts uint64, setFlags map[string]bool) (*sim.Grid, error) {
+func buildGrid(path, benches, machines, renos, seeds, backend string, scale float64, maxInsts uint64, setFlags map[string]bool) (*sim.Grid, error) {
 	if path != "" {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -183,6 +184,9 @@ func buildGrid(path, benches, machines, renos, seeds string, scale float64, maxI
 		if setFlags["max"] {
 			g.MaxInsts = maxInsts
 		}
+		if setFlags["backend"] {
+			g.Backend = backend
+		}
 		return g, nil
 	}
 	seedVals, err := parseSeeds(seeds)
@@ -196,6 +200,7 @@ func buildGrid(path, benches, machines, renos, seeds string, scale float64, maxI
 		Seeds:    seedVals,
 		Scale:    scale,
 		MaxInsts: maxInsts,
+		Backend:  backend,
 	}, nil
 }
 

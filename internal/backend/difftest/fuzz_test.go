@@ -1,0 +1,81 @@
+package difftest
+
+import (
+	"context"
+	"testing"
+
+	"reno/internal/backend"
+	"reno/internal/machine"
+	"reno/internal/workload"
+)
+
+// fuzzInsts bounds the timed instructions per fuzz execution; small enough
+// for CI seed-corpus replay, large enough to fill the IT and exercise
+// speculative bypassing.
+const fuzzInsts = 4000
+
+// FuzzFunctionalVsDetailed is the differential fuzz target: an arbitrary
+// point in the workload-generator parameter space (kernel kind, trip
+// counts, branch entropy, machine, RENO configuration) must produce
+// byte-identical architectural results and elimination counts on the
+// functional and detailed backends. The generator emits only valid programs,
+// so every fuzz input explores simulator behaviour rather than assembler
+// error paths.
+//
+// The seed corpus spans every kernel the workload presets are built from,
+// both machine presets, and the elimination configurations with distinct
+// decision machinery (BASE, ME+CF, RENO, FullInteg).
+func FuzzFunctionalVsDetailed(f *testing.F) {
+	// kernel, trips, iters, entropyPct, machineIdx, renoIdx
+	f.Add(uint8(0), uint8(16), uint8(8), uint8(0), uint8(0), uint8(3))   // sweep on 4w/RENO
+	f.Add(uint8(1), uint8(8), uint8(4), uint8(20), uint8(1), uint8(3))   // chase on 6w/RENO
+	f.Add(uint8(2), uint8(4), uint8(8), uint8(0), uint8(0), uint8(0))    // calls on 4w/BASE
+	f.Add(uint8(3), uint8(24), uint8(6), uint8(50), uint8(0), uint8(2))  // compute on 4w/ME+CF
+	f.Add(uint8(4), uint8(12), uint8(12), uint8(0), uint8(1), uint8(5))  // bitops on 6w/FullInteg
+	f.Add(uint8(5), uint8(20), uint8(10), uint8(90), uint8(0), uint8(3)) // branchy, high entropy
+	f.Add(uint8(6), uint8(32), uint8(8), uint8(10), uint8(0), uint8(6))  // redundant on LoadsInteg
+	f.Add(uint8(7), uint8(16), uint8(16), uint8(0), uint8(1), uint8(1))  // memcpy on 6w/ME
+
+	machines := machine.MachineNames()
+	renos := machine.RenoNames()
+
+	f.Fuzz(func(t *testing.T, kernel, trips, iters, entropyPct, mIdx, rIdx uint8) {
+		p := workload.Micro(
+			workload.KernelKind(int(kernel)%8),
+			1+int(trips)%64,
+			1+int(iters)%32,
+		)
+		p.BranchEntropy = float64(int(entropyPct)%101) / 100
+		prog, err := workload.Build(p)
+		if err != nil {
+			t.Fatalf("generator emitted an unassemblable program: %v", err)
+		}
+		warm, err := prog.WarmupCount()
+		if err != nil {
+			t.Skip("degenerate warmup")
+		}
+
+		mach := machines[int(mIdx)%len(machines)]
+		rcfg := renos[int(rIdx)%len(renos)]
+		rc, err := machine.RenoByName(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := machine.ParseMachine(mach, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cell := Cell{
+			Machine: mach, Config: rcfg, Bench: p.Name,
+			Cfg: cfg, Code: prog.Code, Warmup: warm, MaxInsts: fuzzInsts,
+		}
+		rep, err := Compare(context.Background(), cell, backend.Detailed, backend.Functional)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Equivalent() {
+			t.Errorf("%s", rep)
+		}
+	})
+}

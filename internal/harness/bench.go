@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"reno/internal/backend"
 	machreg "reno/internal/machine"
 	"reno/internal/pipeline"
 	"reno/internal/workload"
@@ -22,9 +23,14 @@ import (
 type BenchCell struct {
 	Machine string
 	Bench   string
+	// Backend is the normalized backend name ("" = detailed). Non-detailed
+	// cells measure a different simulator, so they are excluded from the
+	// pass totals and the baseline speedup (their keys carry an "@backend"
+	// suffix and can never match a detailed baseline entry).
+	Backend string
 
 	Insts  uint64  // timed committed instructions
-	Cycles uint64  // simulated cycles
+	Cycles uint64  // simulated cycles (0 on the functional backend)
 	IPC    float64 // simulated-core performance (sanity anchor)
 
 	WallNS            int64
@@ -34,8 +40,15 @@ type BenchCell struct {
 	BytesPerKiloInst  float64
 }
 
-// Key returns the cell's baseline-lookup key, "machine/bench".
-func (c BenchCell) Key() string { return c.Machine + "/" + c.Bench }
+// Key returns the cell's baseline-lookup key, "machine/bench", with an
+// "@backend" suffix on non-detailed cells.
+func (c BenchCell) Key() string {
+	k := c.Machine + "/" + c.Bench
+	if c.Backend != "" {
+		k += "@" + c.Backend
+	}
+	return k
+}
 
 // BenchTotals aggregates a bench run.
 type BenchTotals struct {
@@ -101,15 +114,17 @@ type BenchReport struct {
 	SpeedupPct *float64
 }
 
-// BenchPipeline measures detailed-simulator throughput for every (machine
-// preset, benchmark) pair, serially (parallel runs would contend for cores
-// and understate per-run speed). Machine specs go through the
+// BenchPipeline measures simulator throughput for every (machine preset,
+// benchmark, backend) triple, serially (parallel runs would contend for
+// cores and understate per-run speed). Machine specs go through the
 // machine-registry DSL, so "4w", "6w", or modified forms like "4w:p128"
-// all work. Each cell runs once untimed to warm the host caches, then once
-// timed with allocation counters sampled around it. timeout bounds each
-// individual run's wall-clock time (0 = none); an exceeded budget fails
-// the whole pass, since a partial cell would poison the trajectory.
-func BenchPipeline(ctx context.Context, machines, benches []string, maxInsts uint64, scale float64, timeout time.Duration) (*BenchReport, error) {
+// all work; backends name simulation backends ("detailed", "approx",
+// "functional"; nil means detailed only). Each cell runs once untimed to
+// warm the host caches, then once timed with allocation counters sampled
+// around it. timeout bounds each individual run's wall-clock time (0 =
+// none); an exceeded budget fails the whole pass, since a partial cell
+// would poison the trajectory.
+func BenchPipeline(ctx context.Context, machines, benches, backends []string, maxInsts uint64, scale float64, timeout time.Duration) (*BenchReport, error) {
 	rep := &BenchReport{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -118,36 +133,49 @@ func BenchPipeline(ctx context.Context, machines, benches []string, maxInsts uin
 		MaxInsts:  maxInsts,
 		Scale:     scale,
 	}
-	for _, bench := range benches {
-		prof, ok := workload.ByName(bench)
-		if !ok {
-			return nil, fmt.Errorf("bench: unknown workload %q", bench)
-		}
-		w, err := workload.Build(workload.Scale(prof, scale))
-		if err != nil {
-			return nil, fmt.Errorf("bench: build %s: %w", bench, err)
-		}
-		warm, err := w.WarmupCount()
-		if err != nil {
-			return nil, fmt.Errorf("bench: warmup %s: %w", bench, err)
-		}
-		for _, mach := range machines {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			rc, err := machreg.RenoByName("RENO")
+	kinds := []backend.Kind{backend.Detailed}
+	if len(backends) > 0 {
+		kinds = kinds[:0]
+		for _, name := range backends {
+			k, err := backend.ParseKind(name)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("bench: %w", err)
 			}
-			cfg, err := machreg.ParseMachine(mach, rc)
+			kinds = append(kinds, k)
+		}
+	}
+	for _, kind := range kinds {
+		for _, bench := range benches {
+			prof, ok := workload.ByName(bench)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown workload %q", bench)
+			}
+			w, err := workload.Build(workload.Scale(prof, scale))
 			if err != nil {
-				return nil, fmt.Errorf("bench: machine %q: %w", mach, err)
+				return nil, fmt.Errorf("bench: build %s: %w", bench, err)
 			}
-			cell, err := benchOne(ctx, mach, bench, cfg, w, warm, maxInsts, timeout)
+			warm, err := w.WarmupCount()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("bench: warmup %s: %w", bench, err)
 			}
-			rep.Cells = append(rep.Cells, cell)
+			for _, mach := range machines {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				rc, err := machreg.RenoByName("RENO")
+				if err != nil {
+					return nil, err
+				}
+				cfg, err := machreg.ParseMachine(mach, rc)
+				if err != nil {
+					return nil, fmt.Errorf("bench: machine %q: %w", mach, err)
+				}
+				cell, err := benchOne(ctx, mach, bench, kind, cfg, w, warm, maxInsts, timeout)
+				if err != nil {
+					return nil, err
+				}
+				rep.Cells = append(rep.Cells, cell)
+			}
 		}
 	}
 	rep.finish(&PrePRBaseline)
@@ -157,7 +185,7 @@ func BenchPipeline(ctx context.Context, machines, benches []string, maxInsts uin
 // benchOne times one cell: an untimed warm run, then a timed run bracketed
 // by memory-statistics samples. Each of the two runs gets its own timeout
 // budget when one is set.
-func benchOne(ctx context.Context, mach, bench string, cfg pipeline.Config, w *workload.Program, warm, maxInsts uint64, timeout time.Duration) (BenchCell, error) {
+func benchOne(ctx context.Context, mach, bench string, kind backend.Kind, cfg pipeline.Config, w *workload.Program, warm, maxInsts uint64, timeout time.Duration) (BenchCell, error) {
 	runCtx := func() (context.Context, context.CancelFunc) {
 		if timeout > 0 {
 			return context.WithTimeout(ctx, timeout)
@@ -165,11 +193,16 @@ func benchOne(ctx context.Context, mach, bench string, cfg pipeline.Config, w *w
 		return ctx, func() {}
 	}
 	cell := BenchCell{Machine: mach, Bench: bench}
+	if kind != backend.Detailed {
+		cell.Backend = kind.String()
+	}
+	be := backend.For(kind)
+	req := backend.Request{Cfg: cfg, Code: w.Code, Warmup: warm, MaxInsts: maxInsts}
 	wctx, cancel := runCtx()
-	_, _, err := pipeline.RunProgramContext(wctx, cfg, w.Code, warm, maxInsts, pipeline.RunOptions{})
+	_, err := be.Run(wctx, req)
 	cancel()
 	if err != nil {
-		return cell, fmt.Errorf("bench %s/%s (warm run): %w", mach, bench, err)
+		return cell, fmt.Errorf("bench %s (warm run): %w", cell.Key(), err)
 	}
 	runtime.GC()
 	var m0, m1 runtime.MemStats
@@ -177,12 +210,13 @@ func benchOne(ctx context.Context, mach, bench string, cfg pipeline.Config, w *w
 	tctx, cancel := runCtx()
 	defer cancel()
 	t0 := time.Now()
-	res, _, err := pipeline.RunProgramContext(tctx, cfg, w.Code, warm, maxInsts, pipeline.RunOptions{})
+	bres, err := be.Run(tctx, req)
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&m1)
 	if err != nil {
-		return cell, fmt.Errorf("bench %s/%s: %w", mach, bench, err)
+		return cell, fmt.Errorf("bench %s: %w", cell.Key(), err)
 	}
+	res := bres.Pipe
 	cell.Insts = res.Insts
 	cell.Cycles = res.Cycles
 	cell.IPC = res.IPC
@@ -202,11 +236,17 @@ func benchOne(ctx context.Context, mach, bench string, cfg pipeline.Config, w *w
 // finish computes totals and the baseline comparison. The baseline's
 // expected total is reconstructed from per-cell MIPS over exactly the cells
 // measured (and having baseline entries), so partial runs — e.g. the CI
-// smoke's 4w-only pass — still compare like against like.
+// smoke's 4w-only pass — still compare like against like. Totals and the
+// speedup cover detailed cells only: non-detailed backends are an order of
+// magnitude faster by design, and folding them in would corrupt the
+// detailed-simulator throughput trajectory the baseline tracks.
 func (rep *BenchReport) finish(base *BenchBaseline) {
 	var wallNS int64
 	var allocWeighted float64
 	for _, c := range rep.Cells {
+		if c.Backend != "" {
+			continue
+		}
 		rep.Totals.Insts += c.Insts
 		wallNS += c.WallNS
 		allocWeighted += c.AllocsPerKiloInst * float64(c.Insts)
@@ -271,13 +311,14 @@ func (rep *BenchReport) MetricsReport() *metrics.Report {
 			Gauge(metrics.BenchCyclesPerSec, c.CyclesPerSec).
 			Gauge(metrics.BenchAllocsPerKI, c.AllocsPerKiloInst).
 			Gauge(metrics.BenchBytesPerKI, c.BytesPerKiloInst)
-		out.Add(metrics.Record{
-			Labels: map[string]string{
-				metrics.LabelMachine: c.Machine,
-				metrics.LabelBench:   c.Bench,
-			},
-			Metrics: set,
-		})
+		labels := map[string]string{
+			metrics.LabelMachine: c.Machine,
+			metrics.LabelBench:   c.Bench,
+		}
+		if c.Backend != "" {
+			labels[metrics.LabelBackend] = c.Backend
+		}
+		out.Add(metrics.Record{Labels: labels, Metrics: set})
 	}
 	out.Summary = metrics.NewSet().
 		Counter(metrics.BenchTotalInsts, rep.Totals.Insts).
@@ -299,7 +340,7 @@ func (rep *BenchReport) WriteJSON(w io.Writer) error {
 // comparison, for terminal use alongside the JSON artifact.
 func (rep *BenchReport) FprintSummary(w io.Writer) {
 	t := &Table{
-		Title:   "Simulator throughput (detailed pipeline)",
+		Title:   "Simulator throughput",
 		Columns: []string{"cell", "MIPS", "Mcycles/s", "allocs/kinst", "IPC"},
 	}
 	for _, c := range rep.Cells {
@@ -310,7 +351,7 @@ func (rep *BenchReport) FprintSummary(w io.Writer) {
 			fmt.Sprintf("%.3f", c.IPC))
 	}
 	t.Fprint(w)
-	fmt.Fprintf(w, "total: %.3f MIPS over %d instructions (%.1f allocs/kinst)\n",
+	fmt.Fprintf(w, "total (detailed cells): %.3f MIPS over %d instructions (%.1f allocs/kinst)\n",
 		rep.Totals.MIPS, rep.Totals.Insts, rep.Totals.AllocsPerKiloInst)
 	if rep.SpeedupPct != nil {
 		fmt.Fprintf(w, "vs %s: %+.1f%%\n", rep.Baseline.Label, *rep.SpeedupPct)

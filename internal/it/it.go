@@ -129,6 +129,21 @@ type Table struct {
 	policy  Policy
 	tick    uint64
 
+	// phys indexes entry slots by the physical registers they mention:
+	// phys[p] holds candidate slot indices for tuples whose In1/In2/Out is
+	// p. InvalidatePhys — run on every physical-register reclaim, the
+	// hottest table operation by an order of magnitude — walks the
+	// candidate list instead of the whole table. Entries are registered at
+	// insert and never unregistered (overwritten slots go stale in the
+	// list); each candidate is validated against the live entry before
+	// invalidation, so the index is semantically invisible. Lists are
+	// fixed-capacity (allocated once, reused after clearing) to keep the
+	// steady-state rename loop allocation-free; a register that
+	// accumulates more candidates than the cap between reclaims is marked
+	// overflowed and falls back to a whole-table scan on its next reclaim.
+	phys     [][]int32
+	physOver []bool
+
 	// Stats (E9: size/bandwidth accounting).
 	Lookups  uint64
 	Hits     uint64
@@ -208,6 +223,22 @@ func (t *Table) LookupRev(op isa.Op, imm int32, in1, in2 renamer.Mapping) (out r
 	return renamer.Mapping{}, 0, false, false
 }
 
+// Peek probes for a tuple like LookupRev but without side effects: no
+// access/hit statistics and no LRU refresh. The shared elimination engine
+// uses it to pre-adjudicate speculative load bypassing (will this load's
+// integration promise the right value?) without perturbing the table state
+// that the real rename-time lookup will observe and account.
+func (t *Table) Peek(op isa.Op, imm int32, in1, in2 renamer.Mapping) (out renamer.Mapping, value uint64, reverse, hit bool) {
+	lo, hi := t.setBounds(t.hash(op, imm, in1))
+	for i := lo; i < hi; i++ {
+		e := &t.entries[i]
+		if e.Valid && e.Op == op && e.Imm == imm && e.In1 == in1 && e.In2 == in2 {
+			return e.Out, e.Value, e.Reverse, true
+		}
+	}
+	return renamer.Mapping{}, 0, false, false
+}
+
 // Insert installs a tuple, evicting LRU within the set. Duplicate tuples
 // (same signature) are refreshed in place.
 func (t *Table) Insert(e Entry) {
@@ -221,6 +252,7 @@ func (t *Table) Insert(e Entry) {
 		old := &t.entries[i]
 		if old.Valid && old.Op == e.Op && old.Imm == e.Imm && old.In1 == e.In1 && old.In2 == e.In2 {
 			*old = e
+			t.register(i, e.Out.P) // inputs match the old tuple's, already indexed
 			return
 		}
 	}
@@ -235,6 +267,43 @@ func (t *Table) Insert(e Entry) {
 		}
 	}
 	t.entries[victim] = e
+	t.register(victim, e.In1.P)
+	t.register(victim, e.In2.P)
+	t.register(victim, e.Out.P)
+}
+
+// physIndexCap bounds each register's candidate list. Between two reclaims
+// of the same physical register only a handful of tuples can come to
+// mention it; overflow past the cap is rare and costs one whole-table scan.
+const physIndexCap = 64
+
+// register records that slot i holds a tuple mentioning physical register p.
+//
+//reno:hotpath
+func (t *Table) register(i int, p int) {
+	if p < 0 {
+		return
+	}
+	for p >= len(t.phys) {
+		t.phys = append(t.phys, nil)
+		t.physOver = append(t.physOver, false)
+	}
+	if t.physOver[p] {
+		return
+	}
+	l := t.phys[p]
+	if l == nil {
+		//lint:ignore hotalloc once per physical register; kept in t.phys thereafter
+		l = make([]int32, 0, physIndexCap)
+	}
+	if n := len(l); n > 0 && l[n-1] == int32(i) {
+		return // same slot registered for another field of this tuple
+	}
+	if len(l) == physIndexCap {
+		t.physOver[p] = true
+		return
+	}
+	t.phys[p] = append(l, int32(i))
 }
 
 // InvalidatePhys removes every tuple that mentions physical register p as
@@ -242,15 +311,38 @@ func (t *Table) Insert(e Entry) {
 // a recycled register no longer holds the value the tuple describes.
 //
 // Hardware implementations perform this lazily via the integration test;
-// the eager scan here is behaviourally equivalent and simpler to audit.
+// the eager invalidation here is behaviourally equivalent and simpler to
+// audit. The phys index narrows the walk to candidate slots; stale
+// candidates (overwritten since registration) fail the mention check and
+// are skipped, so the result is identical to a whole-table scan.
+//
+//reno:hotpath
 func (t *Table) InvalidatePhys(p int) {
-	for i := range t.entries {
+	if p < 0 || p >= len(t.phys) {
+		return // p was never mentioned by any inserted tuple
+	}
+	if t.physOver[p] {
+		// Candidate list overflowed since p's last reclaim: scan the
+		// whole table once, then resume indexed operation.
+		for i := range t.entries {
+			e := &t.entries[i]
+			if e.Valid && (e.In1.P == p || e.In2.P == p || e.Out.P == p) {
+				e.Valid = false
+				t.Invalids++
+			}
+		}
+		t.physOver[p] = false
+		t.phys[p] = t.phys[p][:0]
+		return
+	}
+	for _, i := range t.phys[p] {
 		e := &t.entries[i]
 		if e.Valid && (e.In1.P == p || e.In2.P == p || e.Out.P == p) {
 			e.Valid = false
 			t.Invalids++
 		}
 	}
+	t.phys[p] = t.phys[p][:0]
 }
 
 // InvalidateSignature removes a specific tuple (used when load re-execution
@@ -270,6 +362,10 @@ func (t *Table) InvalidateSignature(op isa.Op, imm int32, in1, in2 renamer.Mappi
 func (t *Table) Reset() {
 	for i := range t.entries {
 		t.entries[i] = Entry{}
+	}
+	for i := range t.phys {
+		t.phys[i] = t.phys[i][:0]
+		t.physOver[i] = false
 	}
 	t.tick = 0
 	t.Lookups, t.Hits, t.Inserts, t.Invalids = 0, 0, 0, 0

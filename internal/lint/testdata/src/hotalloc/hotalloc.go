@@ -59,6 +59,34 @@ func concat(a, b string) string {
 	return a + b // want "string concatenation in hot path"
 }
 
+// ringHash mirrors the backend commit-hasher idiom: a fixed-size decision
+// ring plus chained multiply-hash words mutated in place. Nothing
+// allocates, so nothing is flagged.
+//
+//reno:hotpath
+func (s *sim) ringHash(vals []uint64) uint64 {
+	var ring [64]uint64
+	h0, h1 := uint64(1469598103934665603), uint64(1099511628211)
+	for i, v := range vals {
+		ring[i&63] = v
+		h0 = (h0 ^ v) * 1099511628211
+		h1 ^= h0 >> 29
+	}
+	return h0 ^ h1 ^ ring[0]
+}
+
+// badRingHash is the allocating variant: a per-call ring and a formatted
+// digest, both flagged.
+//
+//reno:hotpath
+func badRingHash(vals []uint64) string {
+	ring := make([]uint64, 0) // want "make in hot path"
+	for _, v := range vals {
+		ring = append(ring, v) // want "un-presized slice ring"
+	}
+	return fmt.Sprintf("%x", len(ring)) // want "fmt.Sprintf in hot path"
+}
+
 // coldPath is unannotated: the same constructs are not flagged.
 func coldPath(vals []int) string {
 	var out []int

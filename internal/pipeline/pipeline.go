@@ -7,6 +7,7 @@ import (
 	"reno/internal/bpred"
 	"reno/internal/cache"
 	"reno/internal/cpa"
+	"reno/internal/elim"
 	"reno/internal/emu"
 	"reno/internal/isa"
 	"reno/internal/refcount"
@@ -29,6 +30,18 @@ type entry struct {
 	dyn emu.Dyn
 	ren reno.Renamed
 	seq uint64
+
+	// Elimination-engine decision state. renValid marks that ren (and
+	// misBypass/minCommitted) hold the engine's decision — pulled exactly
+	// once per dynamic instruction and carried through squash replays, so
+	// the engine is never consulted twice. misBypass marks a load whose
+	// speculative integration the engine adjudicated as a value mismatch:
+	// its first trip through the pipeline models the bogus integration and
+	// fails at retirement. minCommitted is the engine's commit floor; rename
+	// stalls until this core has committed that many instructions.
+	renValid     bool
+	misBypass    bool
+	minCommitted uint64
 
 	fetchC  uint64
 	renameC uint64
@@ -111,8 +124,8 @@ type Result struct {
 type Sim struct {
 	cfg Config
 
-	opt *reno.Optimizer
-	rc  *refcount.Table // opt's table, cached for the per-cycle occupancy sample
+	eng *elim.Engine
+	rc  *refcount.Table // the engine's table, cached for the per-cycle occupancy sample
 	bp  *bpred.Predictor
 	mem *cache.Hierarchy
 	ss  *storesets.Predictor
@@ -166,12 +179,22 @@ type Sim struct {
 
 	iqOccSum, pregSum uint64
 
-	// Reusable hot-path scratch. groupBuf backs renameStage's rename group,
-	// replayBuf backs squashFrom's replay batch (capacity ROBSize+fqCap, the
-	// in-flight maximum, so it never regrows), and ssDead is the store-set
-	// squash predicate created once in New so squashes allocate no closure.
-	groupBuf     []reno.GroupInst
-	replayBuf    []emu.Dyn
+	// elimCommit tallies eliminated instructions per Kind at commit. The
+	// engine counts at decision time and runs ahead of retirement, so under
+	// a cycle budget or cancellation its totals cover work that never
+	// committed; the commit tally is exact for every stop reason and is
+	// what Result.Reno.Eliminated reports.
+	elimCommit [reno.NumKinds]uint64
+
+	// engErr latches a fatal elimination-engine error (physical register
+	// file too small to make progress); RunContext surfaces it.
+	engErr error
+
+	// Reusable hot-path scratch. replayBuf backs squashFrom's replay batch
+	// (capacity ROBSize+fqCap, the in-flight maximum, so it never regrows),
+	// and ssDead is the store-set squash predicate created once in New so
+	// squashes allocate no closure.
+	replayBuf    []replayRec
 	squashMinSeq uint64
 	ssDead       func(tag uint32) bool
 }
@@ -181,19 +204,18 @@ type Sim struct {
 func New(cfg Config, next func() (emu.Dyn, bool)) *Sim {
 	s := &Sim{
 		cfg: cfg,
-		opt: reno.New(cfg.Reno),
+		eng: elim.New(cfg.Reno, cfg.ROBSize, cfg.RenameWidth),
 		bp:  bpred.New(bpred.Default()),
 		mem: cache.DefaultHierarchy(),
 		ss:  storesets.New(12, 64),
 		src: &stream{next: next},
 	}
-	s.rc = s.opt.RefCounts()
+	s.rc = s.eng.Optimizer().RefCounts()
 	s.rob = make([]entry, cfg.ROBSize)
 	s.fq = make([]entry, fqCap)
 	s.wakeAt = make([]uint64, cfg.Reno.PhysRegs)
 	s.writerSeq = make([]uint64, cfg.Reno.PhysRegs)
-	s.groupBuf = make([]reno.GroupInst, 0, cfg.RenameWidth)
-	s.replayBuf = make([]emu.Dyn, 0, cfg.ROBSize+fqCap)
+	s.replayBuf = make([]replayRec, 0, cfg.ROBSize+fqCap)
 	s.ssDead = func(tag uint32) bool { return uint64(tag) >= s.squashMinSeq }
 	s.blockingSeq = never
 	s.res.Config = cfg
@@ -203,35 +225,49 @@ func New(cfg Config, next func() (emu.Dyn, bool)) *Sim {
 // AttachCPA enables critical-path analysis with the given chunk size.
 func (s *Sim) AttachCPA(chunk int) { s.analyzer = cpa.New(chunk) }
 
-// Optimizer exposes the RENO optimizer (tests).
-func (s *Sim) Optimizer() *reno.Optimizer { return s.opt }
+// Optimizer exposes the elimination engine's RENO optimizer (tests).
+func (s *Sim) Optimizer() *reno.Optimizer { return s.eng.Optimizer() }
+
+// Engine exposes the elimination engine (cross-backend equivalence tests).
+func (s *Sim) Engine() *elim.Engine { return s.eng }
+
+// replayRec is one replayed instruction: the dynamic record plus the
+// elimination-engine decision it already pulled, so squash replays never
+// consult the engine a second time.
+type replayRec struct {
+	dyn          emu.Dyn
+	ren          reno.Renamed
+	renValid     bool
+	misBypass    bool
+	minCommitted uint64
+}
 
 // stream feeds dynamic instructions with pushback for squash replay.
 type stream struct {
 	next   func() (emu.Dyn, bool)
-	replay []emu.Dyn // stack: last element delivered first
+	replay []replayRec // stack: last element delivered first
 	done   bool
 }
 
-func (st *stream) pull() (d emu.Dyn, replayed, ok bool) {
+func (st *stream) pull() (r replayRec, replayed, ok bool) {
 	if n := len(st.replay); n > 0 {
-		d := st.replay[n-1]
+		r := st.replay[n-1]
 		st.replay = st.replay[:n-1]
-		return d, true, true
+		return r, true, true
 	}
 	if st.done {
-		return emu.Dyn{}, false, false
+		return replayRec{}, false, false
 	}
-	d, ok = st.next()
+	d, ok := st.next()
 	if !ok {
 		st.done = true
 	}
-	return d, false, ok
+	return replayRec{dyn: d}, false, ok
 }
 
-func (st *stream) pushFront(ds []emu.Dyn) {
-	for i := len(ds) - 1; i >= 0; i-- {
-		st.replay = append(st.replay, ds[i])
+func (st *stream) pushFront(rs []replayRec) {
+	for i := len(rs) - 1; i >= 0; i-- {
+		st.replay = append(st.replay, rs[i])
 	}
 }
 
@@ -261,6 +297,13 @@ type RunOptions struct {
 	// before timing begins (0 = no analysis). It is the options-form of
 	// AttachCPA, so context-aware callers need no separate setup step.
 	CPAChunk int
+
+	// FeedObserver, when non-nil, receives every dynamic instruction fed
+	// into the timing model, in program order, exactly once (squash
+	// replays are not re-delivered): the committed instruction stream.
+	// The differential backend harness hashes it for cross-fidelity
+	// equivalence checks. Observation never perturbs simulation outcomes.
+	FeedObserver func(emu.Dyn)
 }
 
 // IntervalStats is the progress snapshot handed to a RunOptions.Observer:
@@ -343,6 +386,9 @@ func (s *Sim) RunContext(ctx context.Context, opts RunOptions) (*Result, error) 
 		s.commitStage()
 		s.issueStage()
 		s.renameStage()
+		if s.engErr != nil {
+			return nil, s.engErr
+		}
 		s.fetchStage()
 		s.iqOccSum += uint64(s.iqUsed)
 		s.pregSum += uint64(s.rc.InUse())
@@ -371,8 +417,12 @@ type obsBase struct {
 
 // observe emits one interval snapshot and returns the new baseline.
 func (s *Sim) observe(fn func(IntervalStats), prev obsBase) obsBase {
+	var elim uint64
+	for _, n := range s.elimCommit {
+		elim += n
+	}
 	cur := obsBase{
-		cycles: s.cycle, insts: s.committed, elim: s.opt.Stats.Total(),
+		cycles: s.cycle, insts: s.committed, elim: elim,
 		iqSum: s.iqOccSum, pregSum: s.pregSum,
 	}
 	st := IntervalStats{
@@ -408,7 +458,11 @@ func (s *Sim) finish() *Result {
 		r.AvgIQOcc = float64(s.iqOccSum) / float64(s.cycle)
 		r.AvgPregsInUse = float64(s.pregSum) / float64(s.cycle)
 	}
-	r.Reno = s.opt.Stats
+	// Engine stats cover every *decision*; the Eliminated tally is replaced
+	// by the commit-time per-kind counts so the report is exact even when a
+	// cycle budget or cancellation stopped the run mid-window.
+	r.Reno = s.eng.Stats()
+	r.Reno.Eliminated = s.elimCommit
 	if s.committed > 0 {
 		n := float64(s.committed)
 		r.ElimME = 100 * float64(r.Reno.Eliminated[reno.KindME]) / n
@@ -420,8 +474,8 @@ func (s *Sim) finish() *Result {
 	r.BranchAccuracy = s.bp.Accuracy()
 	r.L1DMissRate = s.mem.L1D.MissRate()
 	r.L2MissRate = s.mem.L2.MissRate()
-	r.MaxPregsUsed = s.opt.RefCounts().MaxInUse
-	if it := s.opt.IT(); it != nil {
+	r.MaxPregsUsed = s.rc.MaxInUse
+	if it := s.eng.Optimizer().IT(); it != nil {
 		r.ITLookups, r.ITInserts, r.ITHits = it.Lookups, it.Inserts, it.Hits
 	}
 	if s.analyzer != nil {
@@ -502,22 +556,31 @@ func (s *Sim) commitStage() {
 		if e.ren.Reexec {
 			// Integrated load: re-execute on the store retirement port
 			// (Section 2.2: "dependence-free" re-execution, decoupled
-			// through the retirement queue).
+			// through the retirement queue). The engine adjudicated the
+			// value at decision time, so a surviving Reexec always
+			// verifies — only the port booking and cache traffic remain.
 			if !s.bookPort(&s.reexecFreeAt, s.cfg.LoadPorts) {
 				return
 			}
 			s.mem.AccessD(e.dyn.EA*8, s.cycle, false)
-			if e.ren.ExpectVal != e.dyn.Result {
-				// Stale bypass: drop the tuple, squash this load and all
-				// younger work, replay.
-				s.res.ReexecFails++
-				s.opt.ReexecMismatch(&e.ren)
-				s.squashFrom(0, e.seq)
+		} else if e.misBypass {
+			// Engine-adjudicated stale bypass: the first trip modeled the
+			// bogus integration; retirement re-execution now fails. Drop
+			// this load and all younger work and replay — the recorded
+			// (conventional) decision then executes it for real.
+			if !s.bookPort(&s.reexecFreeAt, s.cfg.LoadPorts) {
 				return
 			}
+			s.mem.AccessD(e.dyn.EA*8, s.cycle, false)
+			s.res.ReexecFails++
+			e.misBypass = false
+			s.squashFrom(0, e.seq)
+			return
 		}
 		s.trainBranch(e)
-		s.opt.Commit(&e.ren)
+		if e.ren.Elim {
+			s.elimCommit[e.ren.Kind]++
+		}
 
 		if s.analyzer != nil {
 			bound := cpa.BoundCompletion
@@ -807,7 +870,7 @@ func (s *Sim) forwardBlocker(e *entry, off int) (int, bool) {
 func (s *Sim) checkViolations(st *entry, stOff int) bool {
 	for i := stOff + 1; i < s.robCount; i++ {
 		le := s.robPos(i)
-		if !le.isLoad || le.state != stIssued || le.ren.Elim {
+		if !le.isLoad || le.state != stIssued || le.ren.Elim || le.misBypass {
 			continue
 		}
 		if le.dyn.EA != st.dyn.EA {
@@ -854,21 +917,32 @@ func (s *Sim) squashFrom(from int, causeSeq uint64) {
 	minSeq := s.robPos(from).seq
 	// replayBuf has capacity for the full in-flight window, so rebuilding
 	// the replay batch allocates nothing; pushFront copies it into the
-	// stream's own stack before squashFrom returns.
+	// stream's own stack before squashFrom returns. Each record carries the
+	// elimination-engine decision already pulled for it: rename state is
+	// owned by the engine and is never rolled back — a replayed instruction
+	// reuses its original mappings.
 	replay := s.replayBuf[:0]
 	for i := from; i < s.robCount; i++ {
-		replay = append(replay, s.robPos(i).dyn)
+		e := s.robPos(i)
+		replay = append(replay, replayRec{
+			dyn: e.dyn, ren: e.ren, renValid: true,
+			misBypass: e.misBypass, minCommitted: e.minCommitted,
+		})
 	}
-	// The fetch queue holds even younger un-renamed instructions; they
-	// replay too (they were fetched down a path now being refetched).
+	// The fetch queue holds even younger instructions; they replay too
+	// (they were fetched down a path now being refetched), carrying any
+	// decision they may already hold.
 	for i := 0; i < s.fqLen; i++ {
-		replay = append(replay, s.fqAt(i).dyn)
+		fe := s.fqAt(i)
+		replay = append(replay, replayRec{
+			dyn: fe.dyn, ren: fe.ren, renValid: fe.renValid,
+			misBypass: fe.misBypass, minCommitted: fe.minCommitted,
+		})
 	}
 	s.fqHead, s.fqLen = 0, 0
 
 	for i := s.robCount - 1; i >= from; i-- {
 		e := s.robPos(i)
-		s.opt.Squash(&e.ren)
 		if e.inIQ {
 			s.iqUsed--
 		}
@@ -920,15 +994,15 @@ func (s *Sim) blockOn(oldest func(*entry) bool) {
 //reno:hotpath
 func (s *Sim) renameStage() {
 	width := s.cfg.RenameWidth
-	group := s.groupBuf[:0]
 	iqLeft := s.cfg.IQSize - s.iqUsed
 	lqLeft := s.cfg.LQSize - s.lqUsed
 	sqLeft := s.cfg.SQSize - s.sqUsed
 	robLeft := len(s.rob) - s.robCount
 
 	s.windowBlocked = false
-	for len(group) < width && len(group) < s.fqLen {
-		e := s.fqAt(len(group))
+	n := 0
+	for n < width && n < s.fqLen {
+		e := s.fqAt(n)
 		if e.fetchC+uint64(s.cfg.FrontLat) > s.cycle {
 			break
 		}
@@ -945,59 +1019,74 @@ func (s *Sim) renameStage() {
 			break
 		}
 		cls := isa.ClassOf(e.dyn.Inst)
-		if cls == isa.ClassLoad {
-			if lqLeft == 0 {
-				s.blockOn(blockLoad)
-				break
+		if cls == isa.ClassLoad && lqLeft == 0 {
+			s.blockOn(blockLoad)
+			break
+		}
+		if cls == isa.ClassStore && sqLeft == 0 {
+			s.blockOn(blockStore)
+			break
+		}
+
+		// Pull the elimination-engine decision — exactly once per dynamic
+		// instruction; replays arrive with renValid already set.
+		if !e.renValid {
+			dec, err := s.eng.Next(e.dyn)
+			if err != nil {
+				s.engErr = err
+				return
 			}
+			e.ren = dec.Ren
+			e.misBypass = dec.MisBypass
+			e.minCommitted = dec.MinCommitted
+			e.renValid = true
+		}
+		// The engine may have force-committed past this core's retirement
+		// point to free physical registers; renaming before the core
+		// catches up would let a recycled register's wakeup be overwritten
+		// under a live reader. Stall — this is the machine's
+		// physical-register structural stall.
+		if s.committed < e.minCommitted {
+			s.res.RenameStallPregs++
+			if s.robCount > 0 {
+				// The ROB head's commit frees its displaced register.
+				s.windowBlocked = true
+				s.windowBlockSeq = s.robPos(0).seq
+			}
+			break
+		}
+
+		if cls == isa.ClassLoad {
 			lqLeft--
 		}
 		if cls == isa.ClassStore {
-			if sqLeft == 0 {
-				s.blockOn(blockStore)
-				break
-			}
 			sqLeft--
 		}
 		robLeft--
 		iqLeft--
-		result := e.dyn.Result
-		if cls == isa.ClassStore {
-			result = e.dyn.SrcVals[1]
-		}
-		group = append(group, reno.GroupInst{Inst: e.dyn.Inst, Result: result})
-	}
-	if len(group) == 0 {
-		return
-	}
 
-	recs, n := s.opt.RenameGroupScratch(group)
-	if n < len(group) {
-		s.res.RenameStallPregs++
-		if !s.windowBlocked && s.robCount > 0 {
-			// Physical-register exhaustion: the ROB head's commit frees
-			// its displaced register.
-			s.windowBlocked = true
-			s.windowBlockSeq = s.robPos(0).seq
-		}
-	}
-	for i := 0; i < n; i++ {
-		e := s.fqAt(i)
-		e.ren = recs[i]
 		e.renameC = s.cycle
-		cls := isa.ClassOf(e.dyn.Inst)
 		e.isLoad = cls == isa.ClassLoad
 		e.isStore = cls == isa.ClassStore
 
 		if e.ren.HasDest && !e.ren.Elim {
-			s.wakeAt[e.ren.NewMap.P] = never
+			if e.misBypass {
+				// Stand-in for the bogus integration: dependents see the
+				// (wrong) value as already available, exactly as they
+				// would have through the shared mapping.
+				s.wakeAt[e.ren.NewMap.P] = s.cycle
+			} else {
+				s.wakeAt[e.ren.NewMap.P] = never
+			}
 			s.writerSeq[e.ren.NewMap.P] = e.seq
 		}
 
-		if e.ren.Elim {
+		if e.ren.Elim || e.misBypass {
 			// Collapsed out of the execution core: no IQ entry, no issue,
 			// no execution. Consumers wake on the shared register's
 			// original producer (wakeAt untouched): the dataflow collapse.
+			// A mis-bypassed load takes this path on its first trip and
+			// fails retirement re-execution in commitStage.
 			e.state = stIssued
 			e.issueC = s.cycle
 			e.compC = s.cycle
@@ -1022,6 +1111,7 @@ func (s *Sim) renameStage() {
 
 		*s.robPos(s.robCount) = *e
 		s.robCount++
+		n++
 	}
 	s.fqHead += n
 	if s.fqHead >= fqCap {
@@ -1053,10 +1143,11 @@ func (s *Sim) fetchStage() {
 			s.fqWasFull = true
 			break
 		}
-		d, replayed, ok := s.src.pull()
+		rec, replayed, ok := s.src.pull()
 		if !ok {
 			break
 		}
+		d := rec.dyn
 		// One I$ access per new 32-byte block.
 		if blk := d.PC / 8; blk != lastBlock {
 			lastBlock = blk
@@ -1075,6 +1166,8 @@ func (s *Sim) fetchStage() {
 			dyn: d, state: stFetched, seq: s.seqNext,
 			fetchC: fetchC, compC: never, replayed: replayed,
 			fetchBound: cpa.BoundPrevFetch,
+			ren:        rec.ren, renValid: rec.renValid,
+			misBypass: rec.misBypass, minCommitted: rec.minCommitted,
 		}
 		s.seqNext++
 		if s.pendingCauseKind != cpa.BoundNone {

@@ -62,6 +62,9 @@ func runProgram(ctx context.Context, cfg Config, code []isa.Inst, warmup, maxIns
 			ferr = err
 			return emu.Dyn{}, false
 		}
+		if opts.FeedObserver != nil {
+			opts.FeedObserver(d)
+		}
 		return d, true
 	})
 	res, err := s.RunContext(ctx, opts)

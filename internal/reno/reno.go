@@ -48,6 +48,10 @@ const (
 	KindCSELoad      // load integrated against a forward (load) tuple
 	KindRALoad       // load integrated against a reverse (store) tuple
 	KindCSEALU       // ALU operation integrated (PolicyFull only)
+
+	// NumKinds sizes per-kind tallies (Stats.Eliminated and the
+	// backend-side commit tallies that must mirror it).
+	NumKinds = int(KindCSEALU) + 1
 )
 
 func (k Kind) String() string {
@@ -92,6 +96,14 @@ type Config struct {
 	// operation instead of only shift/multiply fusions — the Section 3.3
 	// ablation ("if the 3-input adder delay cannot be hidden").
 	PenalizeAllFusions bool `json:"penalize_all_fusions,omitempty"`
+}
+
+// AnyEnabled reports whether the configuration enables any elimination
+// mechanism at all. When false, every rename decision is trivially
+// conventional and all elimination counts are zero by definition — untimed
+// backends use this to skip elimination accounting entirely.
+func (c Config) AnyEnabled() bool {
+	return c.EnableME || c.EnableCF || c.EnableCSERA
 }
 
 // Validate reports the first structural problem with the configuration,
@@ -205,7 +217,7 @@ type Renamed struct {
 // Stats aggregates optimizer activity.
 type Stats struct {
 	Renamed            uint64
-	Eliminated         [6]uint64 // indexed by Kind
+	Eliminated         [NumKinds]uint64 // indexed by Kind
 	FoldCancelOverflow uint64
 	FoldCancelGroupDep uint64
 	ZeroSourceFolds    uint64
@@ -309,17 +321,42 @@ func (o *Optimizer) renameGroupInto(out []Renamed, g []GroupInst) ([]Renamed, in
 		if !ok {
 			break // structural stall: no free physical register
 		}
-		if r.Elim && r.HasDest {
-			elimDest |= 1 << uint(r.Dest)
-		} else if r.HasDest {
-			// A conventional rename of rd clears the restriction: younger
-			// readers now depend on a real register.
-			elimDest &^= 1 << uint(r.Dest)
-		}
+		elimDest = UpdateGroupMask(elimDest, &r)
 		out = append(out, r)
 		n++
 	}
 	return out, n
+}
+
+// RenameOne renames a single instruction against the current rename state.
+// elimDest is the group-dependence mask accumulated over older instructions
+// renamed in the same cycle (see UpdateGroupMask); pass 0 for the first
+// instruction of a group. ok is false when the physical register file is
+// exhausted — the caller re-presents the instruction once a register frees.
+//
+// Callers that drive the optimizer one instruction at a time (the shared
+// elimination engine) use this; RenameGroup remains the whole-group
+// entry point.
+//
+//reno:hotpath
+func (o *Optimizer) RenameOne(gi GroupInst, elimDest uint32) (Renamed, bool) {
+	return o.renameOne(gi, elimDest)
+}
+
+// UpdateGroupMask folds one rename result into the same-group elimination
+// mask: an eliminated destination sets its bit (younger in-group readers
+// rename conventionally, Section 3.2), and a conventional rename of the same
+// logical register clears it.
+//
+//reno:hotpath
+func UpdateGroupMask(mask uint32, r *Renamed) uint32 {
+	if !r.HasDest {
+		return mask
+	}
+	if r.Elim {
+		return mask | 1<<uint(r.Dest)
+	}
+	return mask &^ (1 << uint(r.Dest))
 }
 
 //reno:hotpath

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"testing"
+
+	"reno/metrics"
+)
+
+// TestBackendCacheIsolation pins the cross-fidelity caching contract: run
+// keys fold in the backend, so resubmitting the same cells at a different
+// fidelity simulates from scratch (a functional result must never be served
+// as detailed truth), while same-fidelity resubmissions — including the
+// spelled-out "detailed", which normalizes to the default — are served
+// entirely from cache.
+func TestBackendCacheIsolation(t *testing.T) {
+	s := mustNew(t, Config{Workers: 2})
+	defer closeNow(t, s)
+	detailed := []byte(`{"benches":["gzip"],"renos":["BASE","RENO"],"max_insts":5000,"scale":0.2}`)
+	functional := []byte(`{"version":2,"benches":["gzip"],"renos":["BASE","RENO"],"max_insts":5000,"scale":0.2,"backend":"functional"}`)
+
+	j1 := runToDone(t, s, detailed)
+	if st := j1.Status(); st.Simulated != 2 || st.CacheHits != 0 {
+		t.Fatalf("first detailed job counters: %+v", st)
+	}
+
+	// Same cells, different fidelity: zero cross-fidelity cache hits.
+	j2 := runToDone(t, s, functional)
+	if st := j2.Status(); st.Simulated != 2 || st.CacheHits != 0 {
+		t.Fatalf("functional resubmission hit the detailed cache: %+v", st)
+	}
+
+	// Same fidelity is fully cached, in both directions.
+	if st := runToDone(t, s, detailed).Status(); st.CacheHits != 2 || st.Simulated != 0 {
+		t.Fatalf("detailed resubmission not served from cache: %+v", st)
+	}
+	j4 := runToDone(t, s, functional)
+	if st := j4.Status(); st.CacheHits != 2 || st.Simulated != 0 {
+		t.Fatalf("functional resubmission not served from cache: %+v", st)
+	}
+
+	// Spelling out "detailed" normalizes to the default backend and is
+	// served from the detailed cache.
+	explicit := []byte(`{"version":2,"benches":["gzip"],"renos":["BASE","RENO"],"max_insts":5000,"scale":0.2,"backend":"detailed"}`)
+	if st := runToDone(t, s, explicit).Status(); st.CacheHits != 2 || st.Simulated != 0 {
+		t.Fatalf("explicit-detailed resubmission not served from the detailed cache: %+v", st)
+	}
+
+	// Served functional records keep their backend label; detailed records
+	// carry none (pre-backend byte-compatibility).
+	rep, err := j4.Results(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range rep.Records {
+		if got := rec.Labels[metrics.LabelBackend]; got != "functional" {
+			t.Errorf("cached functional record labeled %q, want functional", got)
+		}
+	}
+	rep, err = j1.Results(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range rep.Records {
+		if got, ok := rec.Labels[metrics.LabelBackend]; ok {
+			t.Errorf("detailed record carries backend label %q", got)
+		}
+	}
+}

@@ -48,6 +48,10 @@ type resultPayload struct {
 	Machine string `json:"machine,omitempty"`
 	Config  string `json:"config"`
 	Seed    int64  `json:"seed,omitempty"`
+	// Backend is the normalized backend name ("" = detailed). Omitted when
+	// empty, so pre-backend store records decode unchanged — and detailed
+	// runs still encode to their pre-backend bytes.
+	Backend string `json:"backend,omitempty"`
 
 	Cycles uint64  `json:"cycles"`
 	Insts  uint64  `json:"insts"`
@@ -115,7 +119,8 @@ func EncodeResult(key string, r *Result) ([]byte, error) {
 	}
 	payload, err := json.Marshal(resultPayload{
 		Bench: r.Bench, Suite: r.Suite, Machine: r.Machine, Config: r.Config, Seed: r.Seed,
-		Cycles: r.Cycles, Insts: r.Insts, IPC: r.IPC,
+		Backend: r.Backend,
+		Cycles:  r.Cycles, Insts: r.Insts, IPC: r.IPC,
 		ElimME: r.ElimME, ElimCF: r.ElimCF, ElimLoads: r.ElimLoads, ElimALU: r.ElimALU, ElimTotal: r.ElimTotal,
 		BranchAccuracy: r.BranchAccuracy,
 		ArchHash:       r.ArchHash, Hash: r.Hash,
@@ -181,7 +186,8 @@ func DecodeResult(data []byte) (key string, r *Result, err error) {
 	}
 	res := &Result{
 		Bench: p.Bench, Suite: p.Suite, Machine: p.Machine, Config: p.Config, Seed: p.Seed,
-		Cycles: p.Cycles, Insts: p.Insts, IPC: p.IPC,
+		Backend: p.Backend,
+		Cycles:  p.Cycles, Insts: p.Insts, IPC: p.IPC,
 		ElimME: p.ElimME, ElimCF: p.ElimCF, ElimLoads: p.ElimLoads, ElimALU: p.ElimALU, ElimTotal: p.ElimTotal,
 		BranchAccuracy: p.BranchAccuracy,
 		ArchHash:       p.ArchHash, Hash: p.Hash,

@@ -91,6 +91,9 @@ func (r *Result) record(opts EmitOptions) metrics.Record {
 	if r.Seed != 0 {
 		labels[metrics.LabelSeed] = strconv.FormatInt(r.Seed, 10)
 	}
+	if r.Backend != "" {
+		labels[metrics.LabelBackend] = r.Backend
+	}
 
 	attrs := map[string]string{metrics.AttrRunHash: r.Hash}
 	if r.ArchHash != "" {
@@ -143,7 +146,7 @@ func (rep *Report) WriteJSON(w io.Writer, opts EmitOptions) error {
 
 // csvHeader is the column order of WriteCSV.
 var csvHeader = []string{
-	"bench", "suite", "machine", "config", "seed",
+	"bench", "suite", "machine", "config", "seed", "backend",
 	"cycles", "insts", "ipc",
 	"elim_me", "elim_cf", "elim_loads", "elim_alu", "elim_total",
 	"branch_accuracy", "arch_hash", "run_hash", "wall_ns", "error",
@@ -165,7 +168,7 @@ func (rep *Report) WriteCSV(w io.Writer, opts EmitOptions) error {
 			wall = "0"
 		}
 		row := []string{
-			r.Bench, r.Suite, r.Machine, r.Config, strconv.FormatInt(r.Seed, 10),
+			r.Bench, r.Suite, r.Machine, r.Config, strconv.FormatInt(r.Seed, 10), r.Backend,
 			strconv.FormatUint(r.Cycles, 10), strconv.FormatUint(r.Insts, 10), f(r.IPC),
 			f(r.ElimME), f(r.ElimCF), f(r.ElimLoads), f(r.ElimALU), f(r.ElimTotal),
 			f(r.BranchAccuracy), r.ArchHash, r.Hash, wall, r.Err,

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"reno/internal/backend"
 	"reno/internal/machine"
 	"reno/internal/pipeline"
 	"reno/internal/reno"
@@ -104,6 +105,15 @@ type Grid struct {
 	// deterministic variant of every benchmark's code.
 	Seeds []int64 `json:"seeds,omitempty"`
 
+	// Backend selects the simulation fidelity for every run of the grid:
+	// "detailed" (the cycle-level pipeline — the default, and what the
+	// empty string means), "approx" (cycle-approximate), or "functional"
+	// (untimed screening). All backends produce identical architectural
+	// results and elimination counts (see docs/backends.md); timing fields
+	// degrade with fidelity. A version-2 field: pre-backend grids never
+	// mention it and keep their meaning.
+	Backend string `json:"backend,omitempty"`
+
 	// Scale multiplies workload iteration counts (0 = 1.0).
 	Scale float64 `json:"scale,omitempty"`
 	// MaxInsts caps timed instructions per run (0 = to completion).
@@ -165,6 +175,23 @@ func kernelByName(name string) (workload.KernelKind, bool) {
 	return 0, false
 }
 
+// NormalizeBackend resolves a backend name to its run-key form: the
+// canonical name for non-default backends, "" for detailed (and for the
+// empty string). Detailed mapping to "" is what keeps every pre-backend run
+// key, result hash, and cache entry valid — a job that never asked for a
+// non-default fidelity is byte-identical to one from before backends
+// existed. Unknown names fail with the backend parser's field-level error.
+func NormalizeBackend(name string) (string, error) {
+	k, err := backend.ParseKind(name)
+	if err != nil {
+		return "", err
+	}
+	if k == backend.Detailed {
+		return "", nil
+	}
+	return k.String(), nil
+}
+
 // resolveReno resolves one RENO axis entry into a configuration and tag.
 func resolveReno(s Spec) (reno.Config, string, error) {
 	if s.Inline() {
@@ -211,6 +238,10 @@ func (g Grid) Expand() ([]Job, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{0}
 	}
+	be, err := NormalizeBackend(g.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
+	}
 
 	// Resolve and validate the config axes once, not once per benchmark.
 	type axis struct {
@@ -246,7 +277,7 @@ func (g Grid) Expand() ([]Job, error) {
 	for _, b := range benches {
 		for _, ax := range axes {
 			for _, s := range seeds {
-				jobs = append(jobs, Job{Profile: b, Machine: ax.machine, Config: ax.renoTag, Seed: s, Cfg: ax.cfg})
+				jobs = append(jobs, Job{Profile: b, Machine: ax.machine, Config: ax.renoTag, Seed: s, Cfg: ax.cfg, Backend: be})
 			}
 		}
 	}
@@ -270,6 +301,14 @@ func (g Grid) Validate() error {
 	}
 	if g.Workers < 0 {
 		return fmt.Errorf("grid spec: negative workers %d (omit or 0 means GOMAXPROCS)", g.Workers)
+	}
+	if g.Backend != "" {
+		if _, err := backend.ParseKind(g.Backend); err != nil {
+			return fmt.Errorf("grid spec: %w", err)
+		}
+		if g.Version < 2 {
+			return fmt.Errorf(`grid spec: the backend field requires "version": 2`)
+		}
 	}
 	if g.Version >= 2 {
 		return nil

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"reno/internal/backend"
 	"reno/internal/pipeline"
 	"reno/internal/workload"
 	"reno/metrics"
@@ -41,6 +42,11 @@ type Job struct {
 	Config  string // RENO configuration tag
 	Seed    int64  // seed offset (0 = the profile's canonical program)
 	Cfg     pipeline.Config
+	// Backend is the simulation fidelity in normalized form: the canonical
+	// name of a non-default backend ("approx", "functional"), or "" for the
+	// detailed pipeline (see NormalizeBackend — the normalization is what
+	// keeps pre-backend run keys and cache entries valid).
+	Backend string
 }
 
 // Tag returns the run's configuration axis label: "machine/config", with
@@ -83,6 +89,14 @@ func (j Job) Key(opts Options) string {
 	write(strconv.FormatInt(j.Seed, 10),
 		strconv.FormatFloat(scaleOf(opts), 'g', -1, 64),
 		strconv.FormatUint(opts.MaxInsts, 10))
+	if j.Backend != "" {
+		// Folded only for non-default backends: a detailed job's key is
+		// byte-identical to its pre-backend form, so existing caches and
+		// persistent stores stay valid — while runs of the same cell at
+		// different fidelities can never serve each other (their timing
+		// fields legitimately differ).
+		write("backend", j.Backend)
+	}
 	if cfg, err := json.Marshal(j.Cfg); err == nil {
 		h.Write(cfg)
 	} else {
@@ -101,6 +115,9 @@ type Result struct {
 	Machine string
 	Config  string
 	Seed    int64
+	// Backend is the run's simulation fidelity in normalized form ("" =
+	// detailed), mirrored from Job.Backend.
+	Backend string
 
 	Cycles uint64
 	Insts  uint64
@@ -346,10 +363,20 @@ func runOne(ctx context.Context, j Job, b *built, opts Options) *Result {
 		Machine: j.Machine,
 		Config:  j.Config,
 		Seed:    j.Seed,
+		Backend: j.Backend,
 	}
 	if b.err != nil {
 		r.Err = b.err.Error()
 		r.buildFailed = true
+		r.Hash = hashResult(r)
+		return r
+	}
+	kind, err := backend.ParseKind(j.Backend)
+	if err != nil {
+		// Expand normalizes and validates the grid's backend; only a
+		// hand-built Job can carry a bogus name, and it fails like any
+		// other per-run configuration error.
+		r.Err = err.Error()
 		r.Hash = hashResult(r)
 		return r
 	}
@@ -367,9 +394,16 @@ func runOne(ctx context.Context, j Job, b *built, opts Options) *Result {
 	}
 	//lint:ignore determinism wall time is telemetry only: WallNS is excluded from hashResult and from -stable output
 	t0 := time.Now()
-	res, archHash, err := pipeline.RunProgramContext(rctx, j.Cfg, b.prog.Code, b.warm, opts.MaxInsts, pipeline.RunOptions{})
+	bres, err := backend.For(kind).Run(rctx, backend.Request{
+		Cfg: j.Cfg, Code: b.prog.Code, Warmup: b.warm, MaxInsts: opts.MaxInsts,
+	})
 	//lint:ignore determinism wall time is telemetry only: WallNS is excluded from hashResult and from -stable output
 	r.WallNS = time.Since(t0).Nanoseconds()
+	var res *pipeline.Result
+	var archHash uint64
+	if bres != nil {
+		res, archHash = bres.Pipe, bres.ArchHash
+	}
 	if err != nil {
 		r.Err = err.Error()
 		if res != nil {
@@ -419,6 +453,11 @@ func hashResult(r *Result) string {
 	write(strconv.FormatUint(r.Cycles, 10), strconv.FormatUint(r.Insts, 10), f(r.IPC))
 	write(f(r.ElimME), f(r.ElimCF), f(r.ElimLoads), f(r.ElimALU), f(r.ElimTotal))
 	write(f(r.BranchAccuracy), r.ArchHash, r.Err)
+	if r.Backend != "" {
+		// Conditional for the same reason Job.Key's backend fold is:
+		// detailed runs hash identically to their pre-backend form.
+		write("backend", r.Backend)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

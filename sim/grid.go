@@ -30,6 +30,13 @@ type Grid struct {
 	Scale float64
 	// MaxInsts caps timed instructions per run (0 = to completion).
 	MaxInsts uint64
+	// Backend selects the simulation backend for every run: "detailed"
+	// (default; also selected by ""), "approx", or "functional". All
+	// backends produce identical architectural results and elimination
+	// counts; timing fidelity degrades from detailed to functional (see
+	// docs/backends.md). In the JSON schema the field requires
+	// "version": 2.
+	Backend string
 
 	// version/workers carry a parsed file's schema version and worker
 	// setting; the exported fields above stay the single source of truth
@@ -55,6 +62,7 @@ func ParseGrid(data []byte) (*Grid, error) {
 		Seeds:    sg.Seeds,
 		Scale:    sg.Scale,
 		MaxInsts: sg.MaxInsts,
+		Backend:  sg.Backend,
 		// ParseGridJSON normalizes an absent file version to schema v1, so
 		// Plan reports what the file meant, not the constructed-grid
 		// default.
@@ -100,6 +108,13 @@ func (g *Grid) toSweep() sweep.Grid {
 	if version == 0 {
 		version = sweep.GridVersion
 	}
+	if g.Backend != "" && version < 2 {
+		// The "backend requires version 2" rule is a JSON-schema rule,
+		// enforced when a file is parsed. Setting Backend programmatically
+		// on a grid parsed from a v1 file (e.g. a CLI flag override) is
+		// fine — lower at the version that supports it.
+		version = 2
+	}
 	return sweep.Grid{
 		Version:        version,
 		Benches:        g.Benches,
@@ -108,6 +123,7 @@ func (g *Grid) toSweep() sweep.Grid {
 		Seeds:          g.Seeds,
 		Scale:          g.Scale,
 		MaxInsts:       g.MaxInsts,
+		Backend:        g.Backend,
 		Workers:        g.workers,
 	}
 }

@@ -13,13 +13,14 @@ type Registry struct {
 	Benchmarks []Info `json:"benchmarks"`
 	Machines   []Info `json:"machines"`
 	Configs    []Info `json:"configs"`
+	Backends   []Info `json:"backends"`
 }
 
-// ListRegistered collects the benchmark, machine, and RENO config
+// ListRegistered collects the benchmark, machine, RENO config, and backend
 // registries into one Registry. It is the single enumeration the CLI -list
 // flags and the renoserve discovery endpoint all share.
 func ListRegistered() Registry {
-	return Registry{Benchmarks: Benchmarks(), Machines: Machines(), Configs: Configs()}
+	return Registry{Benchmarks: Benchmarks(), Machines: Machines(), Configs: Configs(), Backends: Backends()}
 }
 
 // WriteText renders the registry as the aligned three-section listing the
@@ -42,5 +43,8 @@ func (r Registry) WriteText(w io.Writer) error {
 	if err := section("\nMachine base specs (extend with :p<N> :i<A>t<T> :s<N>, or inline JSON objects):", r.Machines); err != nil {
 		return err
 	}
-	return section("\nRENO configs:", r.Configs)
+	if err := section("\nRENO configs:", r.Configs); err != nil {
+		return err
+	}
+	return section("\nBackends (identical architectural results; timing fidelity varies):", r.Backends)
 }

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"reno/internal/asm"
+	"reno/internal/backend"
 	"reno/internal/isa"
 	"reno/internal/machine"
 	"reno/internal/pipeline"
@@ -60,6 +61,13 @@ type Spec struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Scale multiplies the workload's iteration count (0 = 1.0).
 	Scale float64 `json:"scale,omitempty"`
+	// Backend selects the simulation fidelity: "detailed" (the cycle-level
+	// pipeline — the default, and what the empty string means), "approx"
+	// (cycle-approximate), or "functional" (untimed screening). Every
+	// backend produces identical architectural results and elimination
+	// counts for the same spec (see docs/backends.md); timing fields
+	// degrade with fidelity. Stored pre-backend specs keep their meaning.
+	Backend string `json:"backend,omitempty"`
 }
 
 // withDefaults fills the documented zero-value defaults.
@@ -113,6 +121,7 @@ type Program struct {
 	cfg        pipeline.Config
 	machineTag string
 	configTag  string
+	backendTag string // normalized backend ("" = detailed), run-key identity
 	code       []isa.Inst
 	warmup     uint64
 }
@@ -137,6 +146,10 @@ func Load(spec Spec) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	backendTag, err := sweep.NormalizeBackend(spec.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	prog, err := workload.Build(workload.Scale(sweep.SeedProfile(profs[0], spec.Seed), spec.Scale))
 	if err != nil {
 		return nil, fmt.Errorf("sim: build %s: %w", spec.Bench, err)
@@ -145,7 +158,7 @@ func Load(spec Spec) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: warmup %s: %w", spec.Bench, err)
 	}
-	return &Program{spec: spec, suite: profs[0].Suite, cfg: cfg, machineTag: machineTag, configTag: configTag, code: prog.Code, warmup: warmup}, nil
+	return &Program{spec: spec, suite: profs[0].Suite, cfg: cfg, machineTag: machineTag, configTag: configTag, backendTag: backendTag, code: prog.Code, warmup: warmup}, nil
 }
 
 // LoadAsm assembles source text instead of generating a benchmark; the
@@ -158,11 +171,15 @@ func LoadAsm(source string, spec Spec) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	backendTag, err := sweep.NormalizeBackend(spec.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	p, err := asm.Assemble(source)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	return &Program{spec: spec, cfg: cfg, machineTag: machineTag, configTag: configTag, code: p.Code}, nil
+	return &Program{spec: spec, cfg: cfg, machineTag: machineTag, configTag: configTag, backendTag: backendTag, code: p.Code}, nil
 }
 
 // Spec returns the (defaulted) spec the program was loaded from.
@@ -172,6 +189,15 @@ func (p *Program) Spec() Spec { return p.spec }
 // "@s<seed>" appended for non-zero seeds — the same tag sweep results use.
 func (p *Program) Tag() string {
 	return sweep.Job{Machine: p.machineTag, Config: p.configTag, Seed: p.spec.Seed}.Tag()
+}
+
+// Backend returns the canonical name of the simulation backend the program
+// runs on ("detailed" for specs that never mentioned one).
+func (p *Program) Backend() string {
+	if p.backendTag == "" {
+		return "detailed"
+	}
+	return p.backendTag
 }
 
 // RunKey returns the run's stable cache identity under opts: an FNV-1a 64
@@ -207,6 +233,7 @@ func (p *Program) RunKey(opts Options) string {
 		Config:  p.configTag,
 		Seed:    p.spec.Seed,
 		Cfg:     p.cfg,
+		Backend: p.backendTag,
 	}
 	key := j.Key(sweep.Options{Scale: p.spec.Scale, MaxInsts: opts.MaxInsts})
 	if opts.MaxCycles != 0 || opts.CPAChunk != 0 {
@@ -253,7 +280,9 @@ type Options struct {
 	// ObserveEvery streams an Interval to Observer each time this many
 	// further instructions commit (0 = never). Observation is passive:
 	// observed and unobserved runs of the same program are
-	// cycle-identical.
+	// cycle-identical. Only the detailed backend simulates cycles, so
+	// MaxCycles, observation, and CPA attachment are silently inert on the
+	// approx and functional backends.
 	ObserveEvery uint64
 	// Observer receives interval snapshots, synchronously on the
 	// simulating goroutine.
@@ -271,6 +300,7 @@ type Result struct {
 
 	machineTag string // resolved tag halves (labels; Tag joins them)
 	configTag  string
+	backendTag string // normalized backend ("" = detailed; labels)
 
 	// StopReason records why the simulation ended: "" (program drained),
 	// "max-insts", "cycle-budget", or "canceled" (partial result).
@@ -310,6 +340,9 @@ func (r *Result) Record() metrics.Record {
 	if r.Spec.Seed != 0 {
 		labels[metrics.LabelSeed] = strconv.FormatInt(r.Spec.Seed, 10)
 	}
+	if r.backendTag != "" {
+		labels[metrics.LabelBackend] = r.backendTag
+	}
 	attrs := map[string]string{
 		metrics.AttrArchHash: fmt.Sprintf("%016x", r.ArchHash),
 	}
@@ -347,21 +380,30 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 		ob := opts.Observer
 		ropts.Observer = func(is pipeline.IntervalStats) { ob.ObserveInterval(Interval(is)) }
 	}
-	res, archHash, err := pipeline.RunProgramContext(ctx, p.cfg, p.code, p.warmup, opts.MaxInsts, ropts)
-	if res == nil {
+	kind, kerr := backend.ParseKind(p.backendTag)
+	if kerr != nil {
+		// Unreachable through Load/LoadAsm, which validate the spec.
+		return nil, fmt.Errorf("sim: %w", kerr)
+	}
+	bres, err := backend.For(kind).Run(ctx, backend.Request{
+		Cfg: p.cfg, Code: p.code, Warmup: p.warmup, MaxInsts: opts.MaxInsts, Opts: ropts,
+	})
+	if bres == nil || bres.Pipe == nil {
 		return nil, fmt.Errorf("sim %s: %w", p.Tag(), err)
 	}
+	res := bres.Pipe
 	out := &Result{
 		Spec:       p.spec,
 		Tag:        p.Tag(),
 		machineTag: p.machineTag,
 		configTag:  p.configTag,
+		backendTag: p.backendTag,
 		StopReason: res.StopReason,
 		Cycles:     res.Cycles,
 		Insts:      res.Insts,
 		IPC:        res.IPC,
 		ElimTotal:  res.ElimTotal,
-		ArchHash:   archHash,
+		ArchHash:   bres.ArchHash,
 		set:        res.Metrics(),
 	}
 	return out, err
@@ -405,4 +447,15 @@ func Configs() []Info {
 		out[i] = Info{Name: d.Name, Desc: d.Desc}
 	}
 	return out
+}
+
+// Backends lists the simulation backends selectable through Spec.Backend
+// or a grid's backend field. Every backend produces identical architectural
+// results and elimination counts; timing fidelity and speed trade off.
+func Backends() []Info {
+	return []Info{
+		{Name: "detailed", Desc: "cycle-accurate pipeline model (default; exact timing)"},
+		{Name: "approx", Desc: "cycle-approximate dataflow model (exact elimination, estimated IPC)"},
+		{Name: "functional", Desc: "architectural emulation only (exact elimination, no timing)"},
+	}
 }
