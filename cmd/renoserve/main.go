@@ -2,8 +2,9 @@
 // accepts declarative experiment grids over HTTP, schedules them on the
 // bounded sweep worker pool, serves previously computed grid cells from a
 // run-key result cache instead of re-simulating them, and streams per-run
-// progress as NDJSON. It is a thin flag parser over internal/service; the
-// API contract lives in docs/service.md.
+// progress as NDJSON. It is a thin flag parser over internal/service and
+// internal/cluster; the API contract lives in docs/service.md and the
+// cluster protocol in docs/cluster.md.
 //
 //	renoserve -addr :8844 -store /var/lib/reno/results
 //
@@ -22,6 +23,21 @@
 // first (POST refuses with 503 + Retry-After while every other endpoint
 // keeps serving), running sweeps get -drain to finish, and only then does
 // the listener close — in-flight clients never see a connection reset.
+//
+// -role shards sweep execution across machines. The default, standalone,
+// is exactly the daemon described above. A coordinator serves the same
+// public API but executes cells by leasing batches to workers over
+// /v1/cluster/; workers are thin pullers that run cells on their local
+// pool and stream results back:
+//
+//	renoserve -role coordinator -addr :8844 -store /shared/results
+//	renoserve -role worker -peers http://coord:8844 -addr :8845 \
+//	    -store /shared/results
+//
+// Workers survive coordinator restarts (they back off and repoll), the
+// coordinator survives worker crashes (leases expire and the cells
+// requeue), and the assembled envelope is byte-identical to a standalone
+// run of the same grid.
 package main
 
 import (
@@ -32,9 +48,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"reno/internal/cluster"
 	"reno/internal/service"
 )
 
@@ -47,17 +65,47 @@ func main() {
 		cache    = flag.Int("cache", 0, "max results in the in-memory cache, evicted LRU (0 = 65536, negative = unbounded)")
 		storeDir = flag.String("store", "", "persistent result store directory (empty = in-memory only; the cache then dies with the daemon)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight runs are cancelled")
+
+		role     = flag.String("role", "standalone", "standalone | coordinator | worker")
+		peers    = flag.String("peers", "", "comma-separated coordinator base URLs (worker role)")
+		leaseTTL = flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "lease lifetime without a heartbeat before cells requeue (coordinator role)")
+		workerID = flag.String("worker-id", "", "this worker's name in cluster state (worker role; default host-pid)")
+		poll     = flag.Duration("poll", cluster.DefaultPoll, "idle lease-poll interval (worker role)")
 	)
 	flag.Parse()
 
-	svc, err := service.New(service.Config{
+	switch *role {
+	case "standalone", "coordinator":
+	case "worker":
+		runWorker(*addr, *peers, *workerID, *workers, *poll, *storeDir)
+		return
+	default:
+		fatal(fmt.Errorf("unknown -role %q (want standalone, coordinator, or worker)", *role))
+	}
+
+	cfg := service.Config{
 		Workers: *workers, QueueDepth: *queue, Runners: *runners,
 		CacheEntries: *cache, StoreDir: *storeDir,
-	})
+	}
+	var coord *cluster.Coordinator
+	if *role == "coordinator" {
+		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{LeaseTTL: *leaseTTL})
+		cfg.Dispatcher = coord
+	}
+	svc, err := service.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	handler := service.NewHandler(svc)
+	if coord != nil {
+		// One listener serves both planes: the public API and, under
+		// /v1/cluster/, the worker-facing protocol.
+		mux := http.NewServeMux()
+		mux.Handle("/v1/cluster/", coord.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -67,7 +115,7 @@ func main() {
 	if *storeDir != "" {
 		fmt.Fprintf(os.Stderr, "renoserve: result store at %s\n", *storeDir)
 	}
-	fmt.Fprintf(os.Stderr, "renoserve: listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "renoserve: %s listening on %s\n", *role, *addr)
 
 	select {
 	case err := <-errc:
@@ -95,6 +143,68 @@ func main() {
 		srv.Close()
 	}
 	fmt.Fprintln(os.Stderr, "renoserve: stopped")
+}
+
+// runWorker runs the worker role: no scheduler, no public sweep API — just
+// the pull loop against the coordinators plus a /v1/healthz of its own.
+func runWorker(addr, peers, id string, capacity int, poll time.Duration, storeDir string) {
+	var coords []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			coords = append(coords, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(coords) == 0 {
+		fatal(errors.New("worker role requires -peers http://coordinator:port"))
+	}
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	var store service.ResultStore
+	if storeDir != "" {
+		ds, err := service.OpenDiskStore(storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+		fmt.Fprintf(os.Stderr, "renoserve: result store at %s\n", storeDir)
+	}
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		ID: id, Coordinators: coords, Capacity: capacity, Poll: poll, Store: store,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Addr: addr, Handler: w.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "renoserve: worker %s polling %s, listening on %s\n", id, strings.Join(coords, ","), addr)
+
+	done := make(chan struct{})
+	go func() { w.Run(ctx); close(done) }()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	// The pull loop stops with the signal context; leased cells already
+	// finished are uploaded, the rest requeue when the lease expires.
+	<-done
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := srv.Shutdown(hctx); err != nil {
+		srv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "renoserve: worker stopped")
 }
 
 func fatal(err error) {

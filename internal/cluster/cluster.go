@@ -1,0 +1,36 @@
+// Package cluster splits sweep execution across nodes: a coordinator that
+// partitions a submitted grid's cells into leased batches, and thin workers
+// that pull batches over HTTP, run them through the existing sweep pool and
+// backends, and stream per-cell results back.
+//
+// The design leans entirely on the determinism the rest of the repository
+// already guarantees. A grid spec expands to the same cell list on every
+// node (sweep.Grid.Expand is deterministic), every cell is content-addressed
+// by its stable run key (sweep.Job.Key), and a completed cell serializes to
+// the canonical self-verifying reno.result/v1 record (sweep.EncodeResult).
+// The wire protocol therefore never ships configuration structs — a lease
+// names the sweep's grid spec plus a set of cell indices, and a result
+// upload is the same record the persistent store holds. The coordinator
+// assembles decoded records into the job-ordered result slice, so the final
+// envelope is byte-identical to a standalone `renosweep -stable` run of the
+// same grid.
+//
+// Fault tolerance is lease-based. A worker owns its batch only while it
+// heartbeats: when the lease TTL lapses, the coordinator requeues the
+// incomplete cells and any worker — including a brand-new one — picks them
+// up. Idle workers steal from stragglers: when nothing is pending, the
+// coordinator splits the largest outstanding lease and hands the tail half
+// to the idle worker. Both mechanisms may execute a cell twice; the
+// coordinator dedups by cell (first complete upload wins, verified against
+// the cell's run key), so a kill -9'd worker costs wall-clock, never
+// correctness — and never a double-counted result.
+//
+// Wall-clock enters this package only through the injected clock seam
+// (lease deadlines, worker liveness); every emitted result byte is a pure
+// function of the grid, which is what the determinism marker below pins.
+// The HTTP surface is Coordinator.Handler (mounted under /v1/cluster/ by
+// renoserve -role coordinator) and Worker.Run's client side; see
+// docs/cluster.md for the protocol and failure model.
+//
+//reno:deterministic
+package cluster

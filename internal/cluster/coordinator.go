@@ -1,0 +1,478 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"reno/internal/service"
+	"reno/internal/sweep"
+)
+
+// DefaultLeaseTTL is the lease lifetime when CoordinatorConfig leaves it
+// zero. Workers heartbeat at a third of the TTL, so the default tolerates
+// two consecutive lost heartbeats before requeueing a batch.
+const DefaultLeaseTTL = 10 * time.Second
+
+// DefaultMaxAttempts bounds how many times a cell that workers *report* as
+// failed (simulation error, unparseable spec) is retried on another lease
+// before the coordinator settles it as a failed result. Worker crashes
+// don't count against the budget — those cells simply requeue.
+const DefaultMaxAttempts = 3
+
+// CoordinatorConfig parameterizes a Coordinator; the zero value works.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a granted batch survives without a heartbeat.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds retries of worker-reported cell failures.
+	MaxAttempts int
+	// Clock substitutes a fake time source in tests; nil means time.Now.
+	Clock func() time.Time
+}
+
+// Coordinator shards sweep cells across HTTP workers. It implements
+// service.Dispatcher, so renoserve plugs it into the scheduler where the
+// in-process sweep pool normally sits: jobs queue, cancel, stream events,
+// and persist results exactly as in standalone mode — only the execution
+// of expanded cells moves off-box.
+type Coordinator struct {
+	ttl         time.Duration
+	maxAttempts int
+	clock       func() time.Time
+	leases      *leaseTable
+
+	mu      sync.Mutex
+	sweeps  map[string]*dispatch   // guarded by mu
+	order   []string               // guarded by mu
+	workers map[string]*workerInfo // guarded by mu
+
+	duplicates uint64 // guarded by mu
+}
+
+// workerInfo is the coordinator's liveness and accounting row for one
+// worker name; all fields are guarded by Coordinator.mu.
+type workerInfo struct {
+	lastSeen  time.Time
+	leases    uint64
+	cellsDone uint64
+}
+
+// dispatch is one in-flight sweep. The identity fields are immutable. The
+// queue and result state below them are mutated only while holding the
+// owning Coordinator's mutex — a cross-struct discipline lockcheck cannot
+// express, so it is documented here instead of per-field: Dispatch itself
+// touches them only before the dispatch is registered (no concurrency yet)
+// and inside methods that take Coordinator.mu.
+type dispatch struct {
+	id       string
+	spec     []byte
+	jobs     []sweep.Job
+	keys     []string
+	publish  func(service.Event)
+	progress func(sweep.RunInfo)
+
+	results   []*sweep.Result // one per job; nil until the cell settles
+	attempts  []int           // worker-reported failures per cell
+	pending   []int           // cells awaiting a lease, grant order
+	done      int             // settled cells (cached + uploaded + failed)
+	remaining int             // unsettled cells; 0 closes doneCh
+	doneCh    chan struct{}
+}
+
+// NewCoordinator returns a Coordinator ready to serve workers; mount its
+// Handler and pass it as service.Config.Dispatcher.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Coordinator{
+		ttl:         cfg.LeaseTTL,
+		maxAttempts: cfg.MaxAttempts,
+		clock:       cfg.Clock,
+		leases:      newLeaseTable(cfg.LeaseTTL, cfg.Clock),
+		sweeps:      make(map[string]*dispatch),
+		workers:     make(map[string]*workerInfo),
+	}
+}
+
+// Dispatch implements service.Dispatcher: it resolves cached cells through
+// opts.Lookup exactly as the in-process pool would, queues the rest for
+// lease grants, and blocks until every cell settles or ctx is cancelled.
+// The contract it honors is sweep.RunContext's: one non-nil result per
+// job, in job order; Lookup serial and first; Progress serialized (under
+// the coordinator mutex), once per cell.
+func (c *Coordinator) Dispatch(ctx context.Context, id string, spec []byte, jobs []sweep.Job, opts sweep.Options, publish func(service.Event)) []*sweep.Result {
+	d := &dispatch{
+		id:       id,
+		spec:     spec,
+		jobs:     jobs,
+		keys:     make([]string, len(jobs)),
+		publish:  publish,
+		progress: opts.Progress,
+		results:  make([]*sweep.Result, len(jobs)),
+		attempts: make([]int, len(jobs)),
+		doneCh:   make(chan struct{}),
+	}
+	for i, j := range jobs {
+		d.keys[i] = j.Key(opts)
+	}
+	// Serial cache pass before anything executes, mirroring the pool: a
+	// fully cached resubmission returns here without a single lease.
+	if opts.Lookup != nil {
+		for i, j := range jobs {
+			if r := opts.Lookup(d.keys[i], j); r != nil {
+				d.results[i] = r
+				d.done++
+				if d.progress != nil {
+					d.progress(sweep.RunInfo{Done: d.done, Total: len(jobs), Index: i, Key: d.keys[i], Cached: true, Result: r})
+				}
+			}
+		}
+	}
+	for i := range jobs {
+		if d.results[i] == nil {
+			d.pending = append(d.pending, i)
+		}
+	}
+	d.remaining = len(d.pending)
+	if d.remaining == 0 {
+		return d.results
+	}
+
+	c.mu.Lock()
+	c.sweeps[id] = d
+	c.order = append(c.order, id)
+	c.mu.Unlock()
+
+	// The ticker only bounds how stale an expired lease can get between
+	// worker requests (every request path also reaps); cadence, not
+	// correctness, so real time is fine even under an injected clock.
+	reap := time.NewTicker(c.reapInterval())
+	defer reap.Stop()
+	for {
+		select {
+		case <-d.doneCh:
+			c.retire(d)
+			return d.results
+		case <-ctx.Done():
+			c.cancel(d, ctx.Err())
+			return d.results
+		case <-reap.C:
+			c.mu.Lock()
+			c.reapLocked()
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Coordinator) reapInterval() time.Duration {
+	iv := c.ttl / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	return iv
+}
+
+// retire removes a completed sweep from the scheduler's view.
+func (c *Coordinator) retire(d *dispatch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropSweepLocked(d)
+}
+
+// cancel settles every unfinished cell with the cancellation error so the
+// scheduler sees the same shape a cancelled in-process run produces: a
+// full, job-ordered slice with Err set on the cells that never ran.
+func (c *Coordinator) cancel(d *dispatch, cause error) {
+	if cause == nil {
+		cause = errors.New("sweep cancelled")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropSweepLocked(d)
+	for i, r := range d.results {
+		if r != nil {
+			continue
+		}
+		d.results[i] = sweep.NewErrorResult(d.jobs[i], cause.Error())
+		d.done++
+		if d.progress != nil {
+			d.progress(sweep.RunInfo{Done: d.done, Total: len(d.jobs), Index: i, Key: d.keys[i], Result: d.results[i]})
+		}
+	}
+}
+
+func (c *Coordinator) dropSweepLocked(d *dispatch) {
+	delete(c.sweeps, d.id)
+	for i, id := range c.order {
+		if id == d.id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.leases.DropSweep(d.id)
+}
+
+// reapLocked requeues the incomplete cells of every expired lease. Cells a
+// dead worker already uploaded stay settled — expiry costs only the
+// unfinished remainder.
+func (c *Coordinator) reapLocked() {
+	for _, ex := range c.leases.Expire() {
+		d := c.sweeps[ex.sweep]
+		if d == nil {
+			continue
+		}
+		requeued := 0
+		for _, cell := range ex.cells {
+			if d.results[cell] == nil {
+				d.pending = append(d.pending, cell)
+				requeued++
+			}
+		}
+		if d.publish != nil {
+			d.publish(service.Event{Type: "lease", Lease: ex.id, Worker: ex.worker, Cells: requeued, Action: "expired"})
+		}
+	}
+}
+
+// grant hands the next batch to a worker: pending cells from the oldest
+// sweep with any, else a batch stolen from the largest outstanding lease.
+// ok is false when the cluster is fully idle.
+func (c *Coordinator) grant(req LeaseRequest) (LeaseGrant, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchLocked(req.Worker)
+	c.reapLocked()
+	activeLeases, _ := c.leases.Counts()
+	for _, id := range c.order {
+		d := c.sweeps[id]
+		if len(d.pending) == 0 {
+			continue
+		}
+		n := NextBatch(len(d.pending), activeLeases, req.Capacity)
+		cells := append([]int(nil), d.pending[:n]...)
+		d.pending = d.pending[n:]
+		lid := c.leases.Grant(req.Worker, id, cells)
+		w.leases++
+		if d.publish != nil {
+			d.publish(service.Event{Type: "lease", Lease: lid, Worker: req.Worker, Cells: len(cells), Action: "granted"})
+		}
+		return LeaseGrant{Lease: lid, Sweep: id, Spec: d.spec, Cells: cells, TTLMillis: c.ttl.Milliseconds()}, true
+	}
+	st, ok := c.leases.Steal(req.Worker)
+	if !ok {
+		return LeaseGrant{}, false
+	}
+	w.leases++
+	if d := c.sweeps[st.sweep]; d != nil && d.publish != nil {
+		d.publish(service.Event{Type: "lease", Lease: st.victimLease, Worker: st.victimWorker, Cells: len(st.cells), Action: "stolen"})
+		d.publish(service.Event{Type: "lease", Lease: st.id, Worker: req.Worker, Cells: len(st.cells), Action: "granted"})
+	}
+	return LeaseGrant{Lease: st.id, Sweep: st.sweep, Spec: c.sweeps[st.sweep].spec, Cells: st.cells, TTLMillis: c.ttl.Milliseconds(), Stolen: true}, true
+}
+
+// heartbeat renews a lease; ok is false when the lease is gone and the
+// worker should abandon the batch.
+func (c *Coordinator) heartbeat(req Heartbeat) (HeartbeatReply, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(req.Worker)
+	c.reapLocked()
+	left, ok := c.leases.Renew(req.Lease)
+	return HeartbeatReply{CellsLeft: left}, ok
+}
+
+// upload ingests finished cells. First complete upload wins per cell;
+// later copies — a reaped worker racing its replacement, a steal victim
+// finishing a cell the thief also ran — count as duplicates, never double.
+// Entries are honored even when the quoted lease has expired: finished
+// work is never discarded.
+func (c *Coordinator) upload(req UploadRequest) UploadReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(req.Worker)
+	d := c.sweeps[req.Sweep]
+	if d == nil {
+		return UploadReply{Stale: true}
+	}
+	var rep UploadReply
+	for _, cu := range req.Results {
+		if cu.Cell < 0 || cu.Cell >= len(d.results) {
+			continue // malformed entry; nothing it could settle
+		}
+		if d.results[cu.Cell] != nil {
+			rep.Duplicate++
+			c.duplicates++
+			continue
+		}
+		if cu.Err != "" {
+			rep.Requeued += c.failCellLocked(d, cu.Cell, cu.Err)
+			continue
+		}
+		key, r, err := sweep.DecodeResult(cu.Record)
+		if err != nil {
+			rep.Requeued += c.failCellLocked(d, cu.Cell, fmt.Sprintf("bad record from %s: %v", req.Worker, err))
+			continue
+		}
+		if key != d.keys[cu.Cell] {
+			rep.Requeued += c.failCellLocked(d, cu.Cell, fmt.Sprintf("key mismatch from %s: got %s want %s", req.Worker, key, d.keys[cu.Cell]))
+			continue
+		}
+		c.settleCellLocked(d, cu.Cell, r, req.Worker)
+		rep.Accepted++
+	}
+	return rep
+}
+
+// settleCellLocked records a cell's final result, releases it from its
+// lease, reports progress, and completes the sweep when it was the last.
+func (c *Coordinator) settleCellLocked(d *dispatch, cell int, r *sweep.Result, worker string) {
+	d.results[cell] = r
+	c.leases.CompleteCell(d.id, cell)
+	if w := c.workers[worker]; w != nil {
+		w.cellsDone++
+	}
+	d.done++
+	d.remaining--
+	if d.progress != nil {
+		d.progress(sweep.RunInfo{Done: d.done, Total: len(d.jobs), Index: cell, Key: d.keys[cell], Result: r})
+	}
+	if d.remaining == 0 {
+		close(d.doneCh)
+	}
+}
+
+// failCellLocked handles a worker-reported cell failure: requeue while the
+// attempt budget lasts (returning 1), else settle the cell as a failed
+// result (returning 0).
+func (c *Coordinator) failCellLocked(d *dispatch, cell int, msg string) int {
+	d.attempts[cell]++
+	if d.attempts[cell] < c.maxAttempts {
+		c.leases.CompleteCell(d.id, cell)
+		d.pending = append(d.pending, cell)
+		return 1
+	}
+	c.settleCellLocked(d, cell, sweep.NewErrorResult(d.jobs[cell], msg), "")
+	return 0
+}
+
+// touchLocked records worker liveness and returns its accounting row.
+func (c *Coordinator) touchLocked(worker string) *workerInfo {
+	w := c.workers[worker]
+	if w == nil {
+		w = &workerInfo{}
+		c.workers[worker] = w
+	}
+	w.lastSeen = c.clock()
+	return w
+}
+
+// ClusterStats implements service.ClusterReporter; /v1/healthz embeds the
+// snapshot under "cluster".
+func (c *Coordinator) ClusterStats() any { return c.stats() }
+
+func (c *Coordinator) stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var st Stats
+	st.ActiveSweeps = len(c.sweeps)
+	for _, id := range c.order {
+		st.PendingCells += len(c.sweeps[id].pending)
+	}
+	st.ActiveLeases, st.LeasedCells = c.leases.Counts()
+	st.LeasesGranted, st.LeasesRenewed, st.LeasesExpired, st.LeasesStolen = c.leases.Lifetime()
+	st.DuplicateResults = c.duplicates
+	now := c.clock()
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := c.workers[name]
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID:             name,
+			LastSeenMillis: now.Sub(w.lastSeen).Milliseconds(),
+			Leases:         w.leases,
+			CellsDone:      w.cellsDone,
+		})
+	}
+	return st
+}
+
+// maxBodyBytes bounds a protocol request body; a full upload batch of
+// result records for a wide grid stays well under this.
+const maxBodyBytes = 8 << 20
+
+// Handler serves the worker-facing protocol; renoserve mounts it next to
+// the public API when running as coordinator.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		g, ok := c.grant(req)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, g)
+	})
+	mux.HandleFunc("POST /v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req Heartbeat
+		if !readJSON(w, r, &req) {
+			return
+		}
+		rep, ok := c.heartbeat(req)
+		if !ok {
+			writeJSON(w, http.StatusGone, struct {
+				Error string `json:"error"`
+			}{"lease " + req.Lease + " is gone"})
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	mux.HandleFunc("POST /v1/cluster/results", func(w http.ResponseWriter, r *http.Request) {
+		var req UploadRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, http.StatusOK, c.upload(req))
+	})
+	mux.HandleFunc("GET /v1/cluster/state", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.stats())
+	})
+	return mux
+}
+
+// readJSON decodes a bounded JSON body, answering 400 on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, struct {
+			Error string `json:"error"`
+		}{err.Error()})
+		return false
+	}
+	return true
+}
+
+// writeJSON emits v as a JSON body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"reno/internal/service"
+	"reno/internal/sweep"
+)
+
+// testGrid expands a small real grid and returns everything a dispatch
+// needs: the spec, the jobs, their run keys, and pre-computed results.
+func testGrid(t *testing.T, spec string) (specBytes []byte, jobs []sweep.Job, keys []string, records map[int][]byte) {
+	t.Helper()
+	grid, err := sweep.ParseGridJSON([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = grid.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := grid.Options()
+	keys = make([]string, len(jobs))
+	for i, j := range jobs {
+		keys[i] = j.Key(opts)
+	}
+	results := sweep.RunContext(context.Background(), jobs, opts)
+	records = make(map[int][]byte, len(results))
+	for i, r := range results {
+		rec, err := sweep.EncodeResult(keys[i], r)
+		if err != nil {
+			t.Fatalf("encode cell %d: %v", i, err)
+		}
+		records[i] = rec
+	}
+	return []byte(spec), jobs, keys, records
+}
+
+// startDispatch runs Dispatch in the background and returns a cancel for
+// the sweep plus a channel carrying the final result slice.
+func startDispatch(t *testing.T, c *Coordinator, id string, spec []byte, jobs []sweep.Job, opts sweep.Options, publish func(service.Event)) (context.CancelFunc, <-chan []*sweep.Result) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make(chan []*sweep.Result, 1)
+	go func() { out <- c.Dispatch(ctx, id, spec, jobs, opts, publish) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.stats()
+		if st.ActiveSweeps == 1 {
+			return cancel, out
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dispatch never registered its sweep")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+const twoCellSpec = `{"benches":["gzip"],"renos":["BASE","RENO"],"max_insts":2000,"scale":0.1}`
+
+// TestUploadAfterExpiryDedup is the lease-expiry edge case: a worker dies
+// after uploading a result but before its lease is released, the cells
+// requeue, a replacement picks them up, and the late/duplicate uploads
+// neither double-count a cell nor corrupt the sweep. Uploads quoting an
+// expired lease are still honored for cells no one settled first.
+func TestUploadAfterExpiryDedup(t *testing.T) {
+	spec, jobs, keys, records := testGrid(t, twoCellSpec)
+	clk := newFakeClock()
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: 10 * time.Second, Clock: clk.Now})
+
+	grid, _ := sweep.ParseGridJSON(spec)
+	var mu sync.Mutex
+	progressed := map[int]int{}
+	opts := grid.Options()
+	opts.Progress = func(ri sweep.RunInfo) {
+		mu.Lock()
+		progressed[ri.Index]++
+		mu.Unlock()
+	}
+	var events []service.Event
+	publish := func(ev service.Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	cancel, out := startDispatch(t, c, "sw-test", spec, jobs, opts, publish)
+	defer cancel()
+
+	// w1 takes both cells across two leases, then goes silent past the TTL.
+	g1, ok := c.grant(LeaseRequest{Worker: "w1", Capacity: 1})
+	if !ok {
+		t.Fatal("no grant for w1")
+	}
+	if _, ok := c.grant(LeaseRequest{Worker: "w1", Capacity: 1}); !ok {
+		t.Fatal("no second grant for w1")
+	}
+	clk.Advance(11 * time.Second)
+
+	// w2's next request reaps w1's lease and re-leases its cells.
+	g2, ok := c.grant(LeaseRequest{Worker: "w2", Capacity: 1})
+	if !ok {
+		t.Fatal("no grant for w2 after expiry")
+	}
+	if g2.Cells[0] != g1.Cells[0] {
+		t.Fatalf("w2 granted cell %d, want w1's expired cell %d", g2.Cells[0], g1.Cells[0])
+	}
+
+	// The dead worker's upload arrives anyway — work is never discarded,
+	// even from an expired lease.
+	cell := g1.Cells[0]
+	rep := c.upload(UploadRequest{Worker: "w1", Lease: g1.Lease, Sweep: "sw-test",
+		Results: []CellUpload{{Cell: cell, Key: keys[cell], Record: records[cell]}}})
+	if rep.Accepted != 1 {
+		t.Fatalf("stale-lease upload: %+v, want accepted", rep)
+	}
+
+	// w2 finishes the same cell: a duplicate, not a double count.
+	rep = c.upload(UploadRequest{Worker: "w2", Lease: g2.Lease, Sweep: "sw-test",
+		Results: []CellUpload{{Cell: cell, Key: keys[cell], Record: records[cell]}}})
+	if rep.Duplicate != 1 || rep.Accepted != 0 {
+		t.Fatalf("duplicate upload: %+v, want duplicate=1", rep)
+	}
+
+	// Settle the remaining cells from wherever they are leased now.
+	for i := range jobs {
+		if i == cell {
+			continue
+		}
+		c.upload(UploadRequest{Worker: "w2", Sweep: "sw-test",
+			Results: []CellUpload{{Cell: i, Key: keys[i], Record: records[i]}}})
+	}
+	results := <-out
+	for i, r := range results {
+		if r == nil || r.Err != "" {
+			t.Fatalf("cell %d did not settle cleanly: %+v", i, r)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, n := range progressed {
+		if n != 1 {
+			t.Errorf("cell %d reported progress %d times, want exactly once", i, n)
+		}
+	}
+	st := c.stats()
+	if st.LeasesExpired != 2 || st.DuplicateResults != 1 {
+		t.Errorf("stats %+v, want two expiries and one duplicate", st)
+	}
+	var expired bool
+	for _, ev := range events {
+		if ev.Type == "lease" && ev.Action == "expired" && ev.Lease == g1.Lease {
+			expired = true
+		}
+	}
+	if !expired {
+		t.Error("no expired lease event published")
+	}
+}
+
+// TestFailedCellRetryBudget: worker-reported failures requeue the cell
+// until the attempt budget is spent, then settle it as a failed result so
+// the sweep still terminates.
+func TestFailedCellRetryBudget(t *testing.T) {
+	spec, jobs, keys, records := testGrid(t, twoCellSpec)
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Hour, MaxAttempts: 2})
+
+	grid, _ := sweep.ParseGridJSON(spec)
+	cancel, out := startDispatch(t, c, "sw-test", spec, jobs, grid.Options(), nil)
+	defer cancel()
+
+	g, ok := c.grant(LeaseRequest{Worker: "w1"})
+	if !ok {
+		t.Fatal("no grant")
+	}
+	bad := g.Cells[0]
+	rep := c.upload(UploadRequest{Worker: "w1", Lease: g.Lease, Sweep: "sw-test",
+		Results: []CellUpload{{Cell: bad, Key: keys[bad], Err: "simulated failure"}}})
+	if rep.Requeued != 1 {
+		t.Fatalf("first failure: %+v, want requeued", rep)
+	}
+	// Second failure exhausts the budget (MaxAttempts 2): settled failed.
+	rep = c.upload(UploadRequest{Worker: "w1", Sweep: "sw-test",
+		Results: []CellUpload{{Cell: bad, Key: keys[bad], Err: "simulated failure"}}})
+	if rep.Requeued != 0 || rep.Accepted != 0 {
+		t.Fatalf("budget-exhausting failure: %+v, want settled (neither requeued nor accepted)", rep)
+	}
+	for i := range jobs {
+		if i != bad {
+			c.upload(UploadRequest{Worker: "w1", Sweep: "sw-test",
+				Results: []CellUpload{{Cell: i, Key: keys[i], Record: records[i]}}})
+		}
+	}
+	results := <-out
+	if r := results[bad]; r == nil || !strings.Contains(r.Err, "simulated failure") {
+		t.Fatalf("exhausted cell result: %+v, want the reported failure", results[bad])
+	}
+	for i, r := range results {
+		if i != bad && (r == nil || r.Err != "") {
+			t.Errorf("cell %d: %+v, want clean", i, r)
+		}
+	}
+	// An upload for a finished sweep is stale, not an error.
+	if rep := c.upload(UploadRequest{Worker: "w1", Sweep: "sw-test"}); !rep.Stale {
+		t.Errorf("upload after completion: %+v, want stale", rep)
+	}
+}
+
+// TestKeyMismatchRejected: a record whose key does not match the
+// coordinator's own expansion never settles the cell.
+func TestKeyMismatchRejected(t *testing.T) {
+	spec, jobs, keys, records := testGrid(t, twoCellSpec)
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Hour, MaxAttempts: 1})
+
+	grid, _ := sweep.ParseGridJSON(spec)
+	cancel, out := startDispatch(t, c, "sw-test", spec, jobs, grid.Options(), nil)
+	defer cancel()
+
+	// Cell 0 uploaded with cell 1's record: key mismatch, budget of one
+	// attempt → settles failed with the mismatch message.
+	rep := c.upload(UploadRequest{Worker: "w1", Sweep: "sw-test",
+		Results: []CellUpload{{Cell: 0, Key: keys[1], Record: records[1]}}})
+	if rep.Accepted != 0 {
+		t.Fatalf("mismatched record accepted: %+v", rep)
+	}
+	c.upload(UploadRequest{Worker: "w1", Sweep: "sw-test",
+		Results: []CellUpload{{Cell: 1, Key: keys[1], Record: records[1]}}})
+	results := <-out
+	if r := results[0]; r == nil || !strings.Contains(r.Err, "key mismatch") {
+		t.Fatalf("cell 0: %+v, want key-mismatch failure", results[0])
+	}
+}

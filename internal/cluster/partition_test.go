@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNextBatch(t *testing.T) {
+	cases := []struct {
+		pending, active, capacity, want int
+	}{
+		{0, 0, 4, 0},   // nothing pending
+		{-3, 0, 4, 0},  // defensive
+		{16, 0, 0, 8},  // first grant: half, leaving room for joiners
+		{16, 1, 0, 6},  // ceil(16/3)
+		{100, 0, 4, 8}, // capacity cap: 2× pool width
+		{1, 10, 4, 1},  // tail of the sweep: single cells
+		{3, 100, 4, 1}, // never zero while cells pend
+	}
+	for _, c := range cases {
+		if got := NextBatch(c.pending, c.active, c.capacity); got != c.want {
+			t.Errorf("NextBatch(%d, %d, %d) = %d, want %d", c.pending, c.active, c.capacity, got, c.want)
+		}
+	}
+}
+
+func TestSplitSteal(t *testing.T) {
+	keep, steal := SplitSteal([]int{3, 5, 7, 9, 11})
+	if !reflect.DeepEqual(keep, []int{3, 5, 7}) || !reflect.DeepEqual(steal, []int{9, 11}) {
+		t.Errorf("odd split: keep=%v steal=%v", keep, steal)
+	}
+	keep, steal = SplitSteal([]int{1, 2})
+	if !reflect.DeepEqual(keep, []int{1}) || !reflect.DeepEqual(steal, []int{2}) {
+		t.Errorf("even split: keep=%v steal=%v", keep, steal)
+	}
+	if keep, steal = SplitSteal([]int{4}); len(steal) != 0 || len(keep) != 1 {
+		t.Errorf("single cell must be unsplittable: keep=%v steal=%v", keep, steal)
+	}
+}
+
+// fakeClock is a manually advanced time source for lease-expiry tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func TestLeaseTableExpiryAndRenewal(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(10*time.Second, clk.Now)
+
+	a := tab.Grant("w1", "sw-1", []int{0, 1, 2})
+	b := tab.Grant("w2", "sw-1", []int{3, 4})
+
+	// Renewal pushes the deadline; the renewed lease survives a window
+	// that kills the unrenewed one.
+	clk.Advance(8 * time.Second)
+	if left, ok := tab.Renew(b); !ok || left != 2 {
+		t.Fatalf("renew live lease: left=%d ok=%v", left, ok)
+	}
+	clk.Advance(7 * time.Second) // a is 15s old, b renewed 7s ago
+	ex := tab.Expire()
+	if len(ex) != 1 || ex[0].id != a || ex[0].worker != "w1" {
+		t.Fatalf("expired %+v, want exactly lease %s", ex, a)
+	}
+	if !reflect.DeepEqual(ex[0].cells, []int{0, 1, 2}) {
+		t.Errorf("expired cells %v, want sorted [0 1 2]", ex[0].cells)
+	}
+	if _, ok := tab.Renew(a); ok {
+		t.Error("expired lease renewed")
+	}
+
+	// Completing every cell retires the lease.
+	tab.CompleteCell("sw-1", 3)
+	tab.CompleteCell("sw-1", 4)
+	if _, ok := tab.Renew(b); ok {
+		t.Error("fully completed lease still renewable")
+	}
+	if leases, cells := tab.Counts(); leases != 0 || cells != 0 {
+		t.Errorf("table not empty: %d leases over %d cells", leases, cells)
+	}
+}
+
+func TestLeaseTableSteal(t *testing.T) {
+	clk := newFakeClock()
+	tab := newLeaseTable(10*time.Second, clk.Now)
+
+	tab.Grant("w1", "sw-1", []int{0, 1})
+	big := tab.Grant("w2", "sw-1", []int{2, 3, 4, 5, 6})
+
+	st, ok := tab.Steal("w3")
+	if !ok {
+		t.Fatal("steal found no victim")
+	}
+	if st.victimLease != big || st.victimWorker != "w2" {
+		t.Errorf("stole from %s/%s, want the largest lease %s/w2", st.victimLease, st.victimWorker, big)
+	}
+	if !reflect.DeepEqual(st.cells, []int{5, 6}) {
+		t.Errorf("stolen cells %v, want the tail [5 6]", st.cells)
+	}
+	if left, ok := tab.Renew(big); !ok || left != 3 {
+		t.Errorf("victim after steal: left=%d ok=%v, want 3 cells kept", left, ok)
+	}
+
+	// Single-cell leases are never split; once nothing is splittable the
+	// steal comes back empty, and stealing never loses or invents a cell.
+	tab.CompleteCell("sw-1", 2)
+	tab.CompleteCell("sw-1", 3)
+	tab.CompleteCell("sw-1", 5)
+	for i := 0; ; i++ {
+		st, ok := tab.Steal("w4")
+		if !ok {
+			break
+		}
+		if len(st.cells) == 0 {
+			t.Fatal("steal produced an empty grant")
+		}
+		if i > 16 {
+			t.Fatal("steal never ran out of victims")
+		}
+	}
+	// Of cells 0..6, cells 2, 3, and 5 completed: four remain leased.
+	if _, cells := tab.Counts(); cells != 4 {
+		t.Errorf("table covers %d cells after steals, want 4", cells)
+	}
+}
+
+// TestStealVsRenewalRace hammers Steal and Renew concurrently (the
+// coordinator serializes them behind its own mutex in production, but the
+// table is self-locking and must stay coherent regardless) and then checks
+// the invariant that matters: every original cell is leased exactly once —
+// stealing moves cells, it never duplicates or drops them.
+func TestStealVsRenewalRace(t *testing.T) {
+	tab := newLeaseTable(time.Hour, newFakeClock().Now)
+	cells := make([]int, 64)
+	for i := range cells {
+		cells[i] = i
+	}
+	victim := tab.Grant("w0", "sw-1", cells)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tab.Renew(victim)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			tab.Steal("thief")
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	tab.mu.Lock()
+	var got []int
+	for _, l := range tab.m {
+		for c := range l.cells {
+			got = append(got, c)
+		}
+	}
+	tab.mu.Unlock()
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, cells) {
+		t.Fatalf("cells after steal storm: %v, want every original cell exactly once", got)
+	}
+}

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the running binary: the toolchain that produced it, the
+// module version, and — when the binary was built from a git checkout with
+// VCS stamping enabled — the commit it was built from. /v1/healthz serves
+// it on every role (standalone daemon, cluster coordinator, cluster
+// worker), so a mixed-version cluster is diagnosable from one curl per
+// node instead of a shell on each.
+type Build struct {
+	// GoVersion is the toolchain that built the binary ("go1.22.1").
+	GoVersion string `json:"go_version"`
+	// Version is the main module's version ("(devel)" for source builds).
+	Version string `json:"version,omitempty"`
+	// Revision is the VCS commit hash, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// Time is the commit timestamp, when stamped.
+	Time string `json:"vcs_time,omitempty"`
+	// Dirty reports uncommitted changes at build time, when stamped.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+var buildOnce = sync.OnceValue(func() Build {
+	b := Build{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = bi.GoVersion
+	b.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// BuildIdentity reports the running binary's build identity, read once from
+// the embedded build info.
+func BuildIdentity() Build { return buildOnce() }

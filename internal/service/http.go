@@ -13,11 +13,22 @@ import (
 // maxSpecBytes bounds a submitted grid spec; real grids are a few KB.
 const maxSpecBytes = 1 << 20
 
+// DefaultListLimit caps GET /v1/sweeps when the client sends no ?limit=: a
+// long-lived daemon accumulates unbounded job history, and an unpaginated
+// list would make the cheapest endpoint the most expensive one. Clients
+// page with ?cursor= (the next_cursor of the previous response).
+var DefaultListLimit = 100
+
+// MaxListLimit caps an explicit ?limit=; larger requests are clamped, not
+// refused.
+const MaxListLimit = 1000
+
 // NewHandler returns the renoserve HTTP API over svc (see docs/service.md
 // for the full contract):
 //
 //	POST   /v1/sweeps              submit a grid (v1/v2 schema) → job status
-//	GET    /v1/sweeps              list jobs, submission order
+//	GET    /v1/sweeps              list jobs, submission order; paginated
+//	                               (?limit=, ?cursor=; default cap 100)
 //	GET    /v1/sweeps/{id}         job status + cache-hit stats
 //	DELETE /v1/sweeps/{id}         cancel a queued/running job; delete a
 //	                               finished one
@@ -31,8 +42,12 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Status string `json:"status"`
+			// Build and uptime make mixed-version clusters diagnosable:
+			// one curl per node answers "what commit is this?".
+			Build         Build `json:"build"`
+			UptimeSeconds int64 `json:"uptime_s"`
 			Stats
-		}{"ok", svc.Stats()})
+		}{"ok", BuildIdentity(), int64(svc.Uptime().Seconds()), svc.Stats()})
 	})
 	mux.HandleFunc("GET /v1/registry", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, sim.ListRegistered())
@@ -68,14 +83,26 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusAccepted, j.Status())
 	})
 	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
-		jobs := svc.Jobs()
+		limit := DefaultListLimit
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				writeError(w, http.StatusBadRequest, errors.New("limit must be a positive integer"))
+				return
+			}
+			limit = min(n, MaxListLimit)
+		}
+		jobs, next := svc.JobsPage(r.URL.Query().Get("cursor"), limit)
 		list := make([]Status, len(jobs))
 		for i, j := range jobs {
 			list[i] = j.Status()
 		}
 		writeJSON(w, http.StatusOK, struct {
 			Sweeps []Status `json:"sweeps"`
-		}{list})
+			// NextCursor resumes the listing: pass it back as ?cursor=.
+			// Absent on the final page.
+			NextCursor string `json:"next_cursor,omitempty"`
+		}{list, next})
 	})
 	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := svc.Job(r.PathValue("id"))

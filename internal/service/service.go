@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,9 +56,13 @@ func (s State) Terminal() bool {
 
 // Event is one entry of a job's progress stream, serialized as a line of
 // the daemon's NDJSON events endpoint. Type "run" records one completed
-// run; type "state" records a lifecycle transition.
+// run; type "state" records a lifecycle transition; type "lease" records a
+// cluster scheduling event (lease granted, expired, or stolen — emitted
+// only when the service runs behind a cluster dispatcher). Every cluster
+// field is omitempty, so standalone event streams are byte-identical to
+// their pre-cluster form.
 type Event struct {
-	Type string `json:"type"` // "run" or "state"
+	Type string `json:"type"` // "run", "state", or "lease"
 
 	// Run-completion fields (Type "run").
 	Done      int     `json:"done,omitempty"`
@@ -73,6 +78,13 @@ type Event struct {
 
 	// Lifecycle field (Type "state").
 	State State `json:"state,omitempty"`
+
+	// Cluster fields (Type "lease"): which worker held which lease over how
+	// many cells, and what happened to it ("granted", "expired", "stolen").
+	Worker string `json:"worker,omitempty"`
+	Lease  string `json:"lease,omitempty"`
+	Cells  int    `json:"cells,omitempty"`
+	Action string `json:"action,omitempty"`
 }
 
 // Status is a point-in-time job snapshot: identity, lifecycle state,
@@ -202,6 +214,16 @@ func (j *Job) Results(stable bool) (*metrics.Report, error) {
 	return rep, nil
 }
 
+// Publish appends an out-of-band event (a cluster lease event) to the
+// job's stream. It is the dispatcher's seam into the NDJSON endpoint: run
+// and state events stay owned by the scheduler, everything else arrives
+// here.
+func (j *Job) Publish(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.publishLocked(ev)
+}
+
 // publishLocked appends an event and wakes subscribers. Callers hold j.mu.
 func (j *Job) publishLocked(ev Event) {
 	j.events = append(j.events, ev)
@@ -285,6 +307,31 @@ func (j *Job) complete(results []*sweep.Result, interrupted bool) {
 	}
 }
 
+// Dispatcher is the execution seam between the scheduler and the machinery
+// that actually runs a job's expanded cells. The default (nil) dispatcher
+// is the in-process sweep pool — sweep.RunContext on this machine. A
+// cluster coordinator (internal/cluster) implements the same contract by
+// sharding the cells across worker nodes.
+//
+// The contract mirrors sweep.RunContext exactly: one non-nil *sweep.Result
+// per job, in job order; opts.Lookup consulted once per cell (serially)
+// before anything executes; opts.Progress called serially, once per
+// completed cell, with RunInfo.Index identifying the cell. Cancellation of
+// ctx must settle every unfinished cell with an error result and return —
+// never block past the context. publish lets the dispatcher append
+// scheduling events (lease grants, expiries, steals) to the job's NDJSON
+// stream; it may be called from any goroutine.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, id string, spec []byte, jobs []sweep.Job, opts sweep.Options, publish func(Event)) []*sweep.Result
+}
+
+// ClusterReporter is implemented by dispatchers that can describe cluster
+// health (workers, leases, pending cells); the snapshot is served under
+// "cluster" in /v1/healthz.
+type ClusterReporter interface {
+	ClusterStats() any
+}
+
 // Config sizes a Service.
 type Config struct {
 	// Workers is the per-sweep pool width (0 = GOMAXPROCS). A grid's own
@@ -307,6 +354,11 @@ type Config struct {
 	// and concurrent daemons may share one directory. Empty = memory
 	// only, the cache dies with the process.
 	StoreDir string
+	// Dispatcher, when non-nil, replaces the in-process sweep pool as the
+	// executor of expanded cells (renoserve -role coordinator wires the
+	// cluster coordinator here). Nil keeps today's behavior exactly:
+	// sweep.RunContext on this machine.
+	Dispatcher Dispatcher
 }
 
 func (c Config) queueDepth() int {
@@ -333,12 +385,13 @@ func (c Config) workers() int {
 // Service is the sweep service: job store, scheduler, and result cache.
 // Create one with New; it accepts jobs until Close.
 type Service struct {
-	cfg   Config
-	cache *Cache             // the in-memory tier (always present)
-	store ResultStore        // what runs read/write: cache, or tiered over disk
-	ctx   context.Context    // base context of every sweep
-	stop  context.CancelFunc // cancels in-flight sweeps on forced drain
-	wg    sync.WaitGroup
+	cfg     Config
+	cache   *Cache             // the in-memory tier (always present)
+	store   ResultStore        // what runs read/write: cache, or tiered over disk
+	ctx     context.Context    // base context of every sweep
+	stop    context.CancelFunc // cancels in-flight sweeps on forced drain
+	started time.Time          // set once at construction; Uptime's epoch
+	wg      sync.WaitGroup
 
 	simulated atomic.Uint64 // pipeline runs actually executed, lifetime
 
@@ -396,11 +449,12 @@ func NewContext(ctx context.Context, cfg Config) (*Service, error) {
 func newService(parent context.Context, cfg Config) (*Service, error) {
 	ctx, stop := context.WithCancel(parent)
 	s := &Service{
-		cfg:   cfg,
-		cache: NewCacheSize(cfg.CacheEntries),
-		ctx:   ctx,
-		stop:  stop,
-		jobs:  map[string]*Job{},
+		cfg:     cfg,
+		cache:   NewCacheSize(cfg.CacheEntries),
+		ctx:     ctx,
+		stop:    stop,
+		started: time.Now(),
+		jobs:    map[string]*Job{},
 	}
 	s.store = s.cache
 	if cfg.StoreDir != "" {
@@ -512,6 +566,35 @@ func (s *Service) Jobs() []*Job {
 	return out
 }
 
+// JobsPage returns up to limit jobs in submission order, starting after the
+// job named by cursor ("" = from the beginning), plus the cursor for the
+// next page ("" = no more jobs). Job IDs are zero-padded sequence numbers,
+// so submission order is ID order and the cursor stays stable even when the
+// job it names has since been removed: the page resumes at the first
+// later-submitted job. A limit <= 0 returns an empty page.
+func (s *Service) JobsPage(cursor string, limit int) (jobs []*Job, next string) {
+	if limit <= 0 {
+		return nil, ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// s.order is ascending by construction (IDs are zero-padded sequence
+	// numbers and appends happen in submission order).
+	start := sort.SearchStrings(s.order, cursor)
+	if start < len(s.order) && s.order[start] == cursor {
+		start++
+	}
+	end := min(start+limit, len(s.order))
+	jobs = make([]*Job, 0, end-start)
+	for _, id := range s.order[start:end] {
+		jobs = append(jobs, s.jobs[id])
+	}
+	if end < len(s.order) {
+		next = s.order[end-1]
+	}
+	return jobs, next
+}
+
 // Cancel requests cancellation of a job: a queued job is settled as
 // cancelled immediately (and its queue slot freed); a running job's sweep
 // is interrupted (in-flight runs record partial statistics) and settles as
@@ -600,7 +683,12 @@ func (s *Service) run(j *Job) {
 		}
 		j.onRun(ri)
 	}
-	results := sweep.RunContext(ctx, j.jobs, opts)
+	var results []*sweep.Result
+	if d := s.cfg.Dispatcher; d != nil {
+		results = d.Dispatch(ctx, j.id, j.Spec(), j.jobs, opts, j.Publish)
+	} else {
+		results = sweep.RunContext(ctx, j.jobs, opts)
+	}
 	j.complete(results, ctx.Err() != nil)
 }
 
@@ -619,6 +707,10 @@ type Stats struct {
 	Draining       bool   `json:"draining,omitempty"`
 
 	Store *StoreStats `json:"store,omitempty"`
+
+	// Cluster is the dispatcher's health snapshot (workers, leases, pending
+	// cells) when the service runs behind a ClusterReporter; nil standalone.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 // Stats snapshots the service.
@@ -643,7 +735,16 @@ func (s *Service) Stats() Stats {
 		ss := ts.Stats()
 		st.Store = &ss
 	}
+	if cr, ok := s.cfg.Dispatcher.(ClusterReporter); ok {
+		st.Cluster = cr.ClusterStats()
+	}
 	return st
+}
+
+// Uptime reports how long the service has been running; /v1/healthz serves
+// it alongside the build identity so mixed-version clusters are diagnosable.
+func (s *Service) Uptime() time.Duration {
+	return time.Since(s.started)
 }
 
 // StopIntake stops the service accepting new jobs: Submit (and therefore

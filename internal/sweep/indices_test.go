@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRunIndicesMatchesFullRun: the batch-of-cells entry point produces,
+// for the selected cells, exactly what a full run produces — same hashes,
+// same order within the subset — and reports progress in full-grid cell
+// coordinates so a cluster coordinator can address the results.
+func TestRunIndicesMatchesFullRun(t *testing.T) {
+	g := tinyGrid()
+	jobs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := g.Options()
+	opts.Workers = 2
+	full := RunContext(context.Background(), jobs, opts)
+
+	indices := []int{5, 1, 6} // deliberately unsorted: batch order is the caller's
+	var mu sync.Mutex
+	seen := map[int]string{}
+	opts.Progress = func(ri RunInfo) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ri.Total != len(indices) {
+			t.Errorf("progress total %d, want batch size %d", ri.Total, len(indices))
+		}
+		seen[ri.Index] = ri.Key
+	}
+	sub := RunIndices(context.Background(), jobs, indices, opts)
+	if len(sub) != len(indices) {
+		t.Fatalf("got %d results for %d indices", len(sub), len(indices))
+	}
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		keys[i] = j.Key(opts)
+	}
+	for bi, cell := range indices {
+		if sub[bi].Hash != full[cell].Hash || sub[bi].Key() != full[cell].Key() {
+			t.Errorf("batch slot %d (cell %d): %s/%s, want full run's %s/%s",
+				bi, cell, sub[bi].Key(), sub[bi].Hash, full[cell].Key(), full[cell].Hash)
+		}
+		if got := seen[cell]; got != keys[cell] {
+			t.Errorf("cell %d progress key %q, want %q (Index must be the full-grid cell)", cell, got, keys[cell])
+		}
+	}
+	if len(seen) != len(indices) {
+		t.Errorf("progress reported cells %v, want exactly %v", seen, indices)
+	}
+}
+
+// TestRunIndicesOutOfRangePanics: a coordinator bug, not a runtime
+// condition — loud and immediate.
+func TestRunIndicesOutOfRangePanics(t *testing.T) {
+	g := tinyGrid()
+	jobs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunIndices accepted an out-of-range cell")
+		}
+	}()
+	RunIndices(context.Background(), jobs, []int{len(jobs)}, g.Options())
+}
+
+// TestNewErrorResult: settled failures carry the job's identity and a
+// self-consistent hash, refuse envelope caching (not Complete), and keep
+// the error message.
+func TestNewErrorResult(t *testing.T) {
+	g := tinyGrid()
+	jobs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewErrorResult(jobs[3], "worker lost")
+	if r.Err != "worker lost" {
+		t.Errorf("err %q", r.Err)
+	}
+	if r.Bench != jobs[3].Profile.Name || r.Config != jobs[3].Config || r.Machine != jobs[3].Machine {
+		t.Errorf("identity mismatch: %+v vs job %+v", r, jobs[3])
+	}
+	if r.Complete() {
+		t.Error("failed result reports Complete")
+	}
+	if r.Hash == "" {
+		t.Error("failed result has no hash")
+	}
+	if _, err := EncodeResult(jobs[3].Key(g.Options()), r); err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Errorf("EncodeResult accepted a failed result (err %v)", err)
+	}
+}

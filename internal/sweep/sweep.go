@@ -252,6 +252,52 @@ func Run(jobs []Job, opts Options) []*Result {
 	return RunContext(context.Background(), jobs, opts)
 }
 
+// RunIndices executes the cells of jobs selected by indices — the
+// batch-of-cells entry point a cluster worker runs its leased batches
+// through (internal/cluster). It returns one Result per index, in index
+// order, with every RunContext guarantee intact: deterministic outcomes,
+// the Lookup cache seam, and serialized Progress — except that
+// RunInfo.Index reports the cell's position in the full jobs slice (its
+// cluster-wide cell index), not its position within the batch, so hooks
+// can address the cell the coordinator named. Done/Total count within the
+// batch. Indices out of range panic: a lease naming cells the grid does
+// not have is a protocol violation, not a runtime condition.
+func RunIndices(ctx context.Context, jobs []Job, indices []int, opts Options) []*Result {
+	subset := make([]Job, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(jobs) {
+			panic(fmt.Sprintf("sweep.RunIndices: cell index %d out of range [0,%d)", idx, len(jobs)))
+		}
+		subset[i] = jobs[idx]
+	}
+	if inner := opts.Progress; inner != nil {
+		opts.Progress = func(ri RunInfo) {
+			ri.Index = indices[ri.Index]
+			inner(ri)
+		}
+	}
+	return RunContext(ctx, subset, opts)
+}
+
+// NewErrorResult renders a job that never executed as a failed Result: the
+// job's identity fields, the error, and the stable result hash — exactly
+// the record the pool emits for a job it could not start (a canceled
+// sweep, a scheduler-level failure). The cluster coordinator uses it to
+// settle cells whose sweep was canceled or whose retries were exhausted.
+func NewErrorResult(j Job, msg string) *Result {
+	r := &Result{
+		Bench:   j.Profile.Name,
+		Suite:   j.Profile.Suite,
+		Machine: j.Machine,
+		Config:  j.Config,
+		Seed:    j.Seed,
+		Backend: j.Backend,
+		Err:     msg,
+	}
+	r.Hash = hashResult(r)
+	return r
+}
+
 // RunContext executes jobs on the bounded pool under ctx. When ctx is
 // canceled, in-flight simulations stop promptly and record their partial
 // statistics with Err set; jobs not yet started are marked canceled without
