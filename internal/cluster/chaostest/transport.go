@@ -1,0 +1,161 @@
+package chaostest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FaultPlan is a seeded schedule of network misbehavior for one
+// FaultTransport. Probabilities are per-request and drawn from a
+// deterministic PRNG, so a failing schedule replays exactly from its
+// seed. A request suffers at most one fate per attempt, checked in
+// order: lost, duplicated, response dropped.
+type FaultPlan struct {
+	// Seed fixes the PRNG; the same seed over the same request sequence
+	// replays the same faults.
+	Seed int64
+	// Lose is the probability the request never reaches the server
+	// (connection refused mid-flight, from the client's point of view).
+	Lose float64
+	// Dup is the probability the server processes the request twice —
+	// the retry storm case the protocol must treat idempotently.
+	Dup float64
+	// Drop is the probability the server processes the request but the
+	// response is lost, so the client sees an error for work that
+	// actually happened.
+	Drop float64
+	// Delay bounds extra latency injected before each request; zero
+	// means none. Keep it well under the HTTP client timeout.
+	Delay time.Duration
+}
+
+// FaultStats counts what a FaultTransport actually did.
+type FaultStats struct {
+	Requests   uint64 `json:"requests"`
+	Lost       uint64 `json:"lost"`
+	Duplicated uint64 `json:"duplicated"`
+	Dropped    uint64 `json:"dropped"`
+}
+
+// ErrInjected marks transport errors manufactured by a FaultTransport,
+// so tests can tell injected faults from real ones.
+var ErrInjected = errors.New("chaostest: injected network fault")
+
+// FaultTransport is an http.RoundTripper that loses, duplicates, delays,
+// and drops requests according to a seeded FaultPlan. Wrap a worker's
+// HTTP client with it and the cluster protocol is exercised exactly
+// where it claims idempotency: duplicate uploads must not double-settle
+// cells, lost lease replies must requeue, dropped heartbeat responses
+// must not wedge a worker.
+type FaultTransport struct {
+	next http.RoundTripper
+
+	mu    sync.Mutex
+	rng   *rand.Rand // guarded by mu
+	plan  FaultPlan
+	stats FaultStats
+}
+
+// NewFaultTransport seeds a transport over next (nil means
+// http.DefaultTransport).
+func NewFaultTransport(plan FaultPlan, next http.RoundTripper) *FaultTransport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &FaultTransport{next: next, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Stats snapshots the fault counters.
+func (t *FaultTransport) Stats() FaultStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+type fate int
+
+const (
+	fateClean fate = iota
+	fateLose
+	fateDup
+	fateDrop
+)
+
+// draw picks this request's fate and delay under the lock, so the fault
+// sequence is a pure function of the seed and the request order.
+func (t *FaultTransport) draw() (fate, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	var d time.Duration
+	if t.plan.Delay > 0 {
+		d = time.Duration(t.rng.Int63n(int64(t.plan.Delay)))
+	}
+	r := t.rng.Float64()
+	switch {
+	case r < t.plan.Lose:
+		t.stats.Lost++
+		return fateLose, d
+	case r < t.plan.Lose+t.plan.Dup:
+		t.stats.Duplicated++
+		return fateDup, d
+	case r < t.plan.Lose+t.plan.Dup+t.plan.Drop:
+		t.stats.Dropped++
+		return fateDrop, d
+	}
+	return fateClean, d
+}
+
+// RoundTrip implements http.RoundTripper. Request bodies are buffered so
+// a duplicated request can be replayed byte-for-byte.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f, delay := t.draw()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	var body []byte
+	if req.Body != nil {
+		var err error
+		if body, err = io.ReadAll(req.Body); err != nil {
+			return nil, err
+		}
+		req.Body.Close()
+	}
+	switch f {
+	case fateLose:
+		return nil, ErrInjected
+	case fateDup:
+		// First delivery: the server processes it, the "network" eats
+		// the response; then the retry that the client will see.
+		if resp, err := t.next.RoundTrip(cloneRequest(req, body)); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return t.next.RoundTrip(cloneRequest(req, body))
+	case fateDrop:
+		resp, err := t.next.RoundTrip(cloneRequest(req, body))
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, ErrInjected
+	}
+	return t.next.RoundTrip(cloneRequest(req, body))
+}
+
+// cloneRequest rebuilds req with a fresh body reader over the buffered
+// bytes, so each delivery attempt reads from the start.
+func cloneRequest(req *http.Request, body []byte) *http.Request {
+	r2 := req.Clone(req.Context())
+	if body != nil {
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+	}
+	return r2
+}

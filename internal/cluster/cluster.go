@@ -25,12 +25,22 @@
 // the cell's run key), so a kill -9'd worker costs wall-clock, never
 // correctness — and never a double-counted result.
 //
+// Coordinator state is durable when a write-ahead Journal is configured:
+// job submissions, settled cells, completions, and lease transitions are
+// appended as NDJSON records, and a restarted coordinator (or a Standby
+// promoted after the primary goes dark) replays the journal, restores the
+// in-flight sweeps, and resumes them — re-simulating nothing whose result
+// already reached the shared store. See journal.go/recover.go/standby.go
+// and the "Durability & failover" section of docs/cluster.md; the chaos
+// proof lives in internal/cluster/chaostest.
+//
 // Wall-clock enters this package only through the injected clock seam
 // (lease deadlines, worker liveness); every emitted result byte is a pure
-// function of the grid, which is what the determinism marker below pins.
-// The HTTP surface is Coordinator.Handler (mounted under /v1/cluster/ by
-// renoserve -role coordinator) and Worker.Run's client side; see
-// docs/cluster.md for the protocol and failure model.
+// function of the grid, which is what the determinism marker below pins
+// (journal records deliberately carry no timestamps). The HTTP surface is
+// Coordinator.Handler (mounted under /v1/cluster/ by renoserve -role
+// coordinator) and Worker.Run's client side; see docs/cluster.md for the
+// protocol and failure model.
 //
 //reno:deterministic
 package cluster

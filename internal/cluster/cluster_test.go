@@ -32,6 +32,7 @@ func startCluster(t *testing.T, ttl time.Duration, storeDir string) *testCluster
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 		defer cancel()
 		svc.Close(ctx)
+		coord.Close()
 	})
 	return &testCluster{coord: coord, svc: svc, ts: ts}
 }
@@ -251,6 +252,7 @@ func TestClusterSharedStore(t *testing.T) {
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 		defer cancel()
 		svc2.Close(ctx)
+		coord2.Close()
 	}()
 	ts2 := httptest.NewServer(coord2.Handler())
 	defer ts2.Close()

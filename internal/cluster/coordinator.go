@@ -33,6 +33,11 @@ type CoordinatorConfig struct {
 	MaxAttempts int
 	// Clock substitutes a fake time source in tests; nil means time.Now.
 	Clock func() time.Time
+	// Journal, when non-nil, makes job state durable: submits, settled
+	// cells, completions, and lease transitions are logged so a restart
+	// resumes in-flight sweeps (see OpenJournal). The coordinator owns
+	// the journal from here on and closes it in Close.
+	Journal *Journal
 }
 
 // Coordinator shards sweep cells across HTTP workers. It implements
@@ -45,6 +50,13 @@ type Coordinator struct {
 	maxAttempts int
 	clock       func() time.Time
 	leases      *leaseTable
+	journal     *Journal // nil when durability is not configured
+
+	// Lifecycle of the background lease reaper: Close closes stopCh and
+	// joins wg, so the goroutine never outlives the coordinator.
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 
 	mu      sync.Mutex
 	sweeps  map[string]*dispatch   // guarded by mu
@@ -96,13 +108,50 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		ttl:         cfg.LeaseTTL,
 		maxAttempts: cfg.MaxAttempts,
 		clock:       cfg.Clock,
 		leases:      newLeaseTable(cfg.LeaseTTL, cfg.Clock),
+		journal:     cfg.Journal,
+		stopCh:      make(chan struct{}),
 		sweeps:      make(map[string]*dispatch),
 		workers:     make(map[string]*workerInfo),
+	}
+	c.wg.Add(1)
+	go c.reapLoop()
+	return c
+}
+
+// Close stops the background lease reaper (joining its goroutine) and
+// closes the journal. It does not cancel in-flight dispatches — draining
+// those is the scheduler's job — and is idempotent and safe against
+// concurrent request handling: requests after Close still work, they just
+// lose journaling and background expiry (every request path also reaps).
+func (c *Coordinator) Close() error {
+	c.closeOnce.Do(func() { close(c.stopCh) })
+	c.wg.Wait()
+	if c.journal != nil {
+		return c.journal.Close()
+	}
+	return nil
+}
+
+// JournalSubmit implements service.Journaler: the scheduler records every
+// accepted job before queueing it, so jobs waiting for a runner survive a
+// crash too, not just jobs that reached Dispatch.
+func (c *Coordinator) JournalSubmit(id string, spec []byte) {
+	if c.journal != nil {
+		c.journal.submit(id, spec)
+	}
+}
+
+// JournalSettled implements service.Journaler: a job that reached a
+// terminal state without ever dispatching (cancelled while queued) must
+// be marked done or a restart would resurrect it.
+func (c *Coordinator) JournalSettled(id string) {
+	if c.journal != nil {
+		c.journal.done(id)
 	}
 }
 
@@ -127,6 +176,12 @@ func (c *Coordinator) Dispatch(ctx context.Context, id string, spec []byte, jobs
 	for i, j := range jobs {
 		d.keys[i] = j.Key(opts)
 	}
+	// Journal the submission before the cache pass so a crash at any
+	// later point recovers the sweep. (A no-op when the scheduler already
+	// recorded it at intake — the journal collapses duplicate submits.)
+	if c.journal != nil {
+		c.journal.submit(id, spec)
+	}
 	// Serial cache pass before anything executes, mirroring the pool: a
 	// fully cached resubmission returns here without a single lease.
 	if opts.Lookup != nil {
@@ -147,6 +202,9 @@ func (c *Coordinator) Dispatch(ctx context.Context, id string, spec []byte, jobs
 	}
 	d.remaining = len(d.pending)
 	if d.remaining == 0 {
+		if c.journal != nil {
+			c.journal.done(id)
+		}
 		return d.results
 	}
 
@@ -155,20 +213,28 @@ func (c *Coordinator) Dispatch(ctx context.Context, id string, spec []byte, jobs
 	c.order = append(c.order, id)
 	c.mu.Unlock()
 
-	// The ticker only bounds how stale an expired lease can get between
-	// worker requests (every request path also reaps); cadence, not
-	// correctness, so real time is fine even under an injected clock.
-	reap := time.NewTicker(c.reapInterval())
-	defer reap.Stop()
+	select {
+	case <-d.doneCh:
+		c.retire(d)
+		return d.results
+	case <-ctx.Done():
+		c.cancel(d, ctx.Err())
+		return d.results
+	}
+}
+
+// reapLoop bounds how stale an expired lease can get between worker
+// requests (every request path also reaps); cadence, not correctness, so
+// a real ticker is fine even under an injected clock. Close joins it.
+func (c *Coordinator) reapLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.reapInterval())
+	defer t.Stop()
 	for {
 		select {
-		case <-d.doneCh:
-			c.retire(d)
-			return d.results
-		case <-ctx.Done():
-			c.cancel(d, ctx.Err())
-			return d.results
-		case <-reap.C:
+		case <-c.stopCh:
+			return
+		case <-t.C:
 			c.mu.Lock()
 			c.reapLocked()
 			c.mu.Unlock()
@@ -222,6 +288,11 @@ func (c *Coordinator) dropSweepLocked(d *dispatch) {
 		}
 	}
 	c.leases.DropSweep(d.id)
+	// Journal appends under Coordinator.mu are fine: the lock order is
+	// always Coordinator.mu → Journal.mu, never the reverse.
+	if c.journal != nil {
+		c.journal.done(d.id)
+	}
 }
 
 // reapLocked requeues the incomplete cells of every expired lease. Cells a
@@ -242,6 +313,9 @@ func (c *Coordinator) reapLocked() {
 		}
 		if d.publish != nil {
 			d.publish(service.Event{Type: "lease", Lease: ex.id, Worker: ex.worker, Cells: requeued, Action: "expired"})
+		}
+		if c.journal != nil {
+			c.journal.lease("expire", ex.sweep, ex.id, ex.worker, nil)
 		}
 	}
 }
@@ -268,6 +342,9 @@ func (c *Coordinator) grant(req LeaseRequest) (LeaseGrant, bool) {
 		if d.publish != nil {
 			d.publish(service.Event{Type: "lease", Lease: lid, Worker: req.Worker, Cells: len(cells), Action: "granted"})
 		}
+		if c.journal != nil {
+			c.journal.lease("grant", id, lid, req.Worker, cells)
+		}
 		return LeaseGrant{Lease: lid, Sweep: id, Spec: d.spec, Cells: cells, TTLMillis: c.ttl.Milliseconds()}, true
 	}
 	st, ok := c.leases.Steal(req.Worker)
@@ -278,6 +355,9 @@ func (c *Coordinator) grant(req LeaseRequest) (LeaseGrant, bool) {
 	if d := c.sweeps[st.sweep]; d != nil && d.publish != nil {
 		d.publish(service.Event{Type: "lease", Lease: st.victimLease, Worker: st.victimWorker, Cells: len(st.cells), Action: "stolen"})
 		d.publish(service.Event{Type: "lease", Lease: st.id, Worker: req.Worker, Cells: len(st.cells), Action: "granted"})
+	}
+	if c.journal != nil {
+		c.journal.lease("steal", st.sweep, st.id, req.Worker, st.cells)
 	}
 	return LeaseGrant{Lease: st.id, Sweep: st.sweep, Spec: c.sweeps[st.sweep].spec, Cells: st.cells, TTLMillis: c.ttl.Milliseconds(), Stolen: true}, true
 }
@@ -290,6 +370,9 @@ func (c *Coordinator) heartbeat(req Heartbeat) (HeartbeatReply, bool) {
 	c.touchLocked(req.Worker)
 	c.reapLocked()
 	left, ok := c.leases.Renew(req.Lease)
+	if ok && c.journal != nil {
+		c.journal.lease("renew", "", req.Lease, req.Worker, nil)
+	}
 	return HeartbeatReply{CellsLeft: left}, ok
 }
 
@@ -340,6 +423,9 @@ func (c *Coordinator) upload(req UploadRequest) UploadReply {
 func (c *Coordinator) settleCellLocked(d *dispatch, cell int, r *sweep.Result, worker string) {
 	d.results[cell] = r
 	c.leases.CompleteCell(d.id, cell)
+	if c.journal != nil {
+		c.journal.cell(d.id, cell, d.keys[cell], r.Err)
+	}
 	if w := c.workers[worker]; w != nil {
 		w.cellsDone++
 	}
@@ -393,6 +479,10 @@ func (c *Coordinator) stats() Stats {
 	st.ActiveLeases, st.LeasedCells = c.leases.Counts()
 	st.LeasesGranted, st.LeasesRenewed, st.LeasesExpired, st.LeasesStolen = c.leases.Lifetime()
 	st.DuplicateResults = c.duplicates
+	if c.journal != nil {
+		js := c.journal.Stats()
+		st.Journal = &js
+	}
 	now := c.clock()
 	names := make([]string, 0, len(c.workers))
 	for name := range c.workers {

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -13,7 +15,7 @@ import (
 
 // testGrid expands a small real grid and returns everything a dispatch
 // needs: the spec, the jobs, their run keys, and pre-computed results.
-func testGrid(t *testing.T, spec string) (specBytes []byte, jobs []sweep.Job, keys []string, records map[int][]byte) {
+func testGrid(t testing.TB, spec string) (specBytes []byte, jobs []sweep.Job, keys []string, records map[int][]byte) {
 	t.Helper()
 	grid, err := sweep.ParseGridJSON([]byte(spec))
 	if err != nil {
@@ -42,7 +44,7 @@ func testGrid(t *testing.T, spec string) (specBytes []byte, jobs []sweep.Job, ke
 
 // startDispatch runs Dispatch in the background and returns a cancel for
 // the sweep plus a channel carrying the final result slice.
-func startDispatch(t *testing.T, c *Coordinator, id string, spec []byte, jobs []sweep.Job, opts sweep.Options, publish func(service.Event)) (context.CancelFunc, <-chan []*sweep.Result) {
+func startDispatch(t testing.TB, c *Coordinator, id string, spec []byte, jobs []sweep.Job, opts sweep.Options, publish func(service.Event)) (context.CancelFunc, <-chan []*sweep.Result) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	out := make(chan []*sweep.Result, 1)
@@ -206,6 +208,86 @@ func TestFailedCellRetryBudget(t *testing.T) {
 	// An upload for a finished sweep is stale, not an error.
 	if rep := c.upload(UploadRequest{Worker: "w1", Sweep: "sw-test"}); !rep.Stale {
 		t.Errorf("upload after completion: %+v, want stale", rep)
+	}
+}
+
+// TestCloseJoinsReaper: every coordinator starts a background lease
+// reaper, and Close must join it — the goroutine count returns to its
+// pre-construction level, so a process cycling coordinators cannot leak.
+func TestCloseJoinsReaper(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cs := make([]*Coordinator, 8)
+	for i := range cs {
+		cs[i] = NewCoordinator(CoordinatorConfig{LeaseTTL: 20 * time.Millisecond})
+	}
+	if n := runtime.NumGoroutine(); n < before+len(cs) {
+		t.Fatalf("%d goroutines after starting %d coordinators (was %d): reapers not running", n, len(cs), before)
+	}
+	for _, c := range cs {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("second Close: %v, want idempotent nil", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper goroutines leaked: %d running, want back to %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCloseRaceWithRequests hammers the request surface (grant, heartbeat,
+// upload) while Close runs mid-flight — run under -race in CI. Close stops
+// the reaper and journaling, but requests must keep working: the service
+// drains sweeps on its own schedule.
+func TestCloseRaceWithRequests(t *testing.T) {
+	spec, jobs, keys, records := testGrid(t, twoCellSpec)
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: 20 * time.Millisecond})
+
+	grid, _ := sweep.ParseGridJSON(spec)
+	cancel, out := startDispatch(t, c, "sw-test", spec, jobs, grid.Options(), nil)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			worker := fmt.Sprintf("w%d", n)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g, ok := c.grant(LeaseRequest{Worker: worker, Capacity: 1})
+				if !ok {
+					continue
+				}
+				c.heartbeat(Heartbeat{Worker: worker, Lease: g.Lease})
+				for _, cell := range g.Cells {
+					c.upload(UploadRequest{Worker: worker, Lease: g.Lease, Sweep: "sw-test",
+						Results: []CellUpload{{Cell: cell, Key: keys[cell], Record: records[cell]}}})
+				}
+			}
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := c.Close(); err != nil { // races the request storm
+		t.Fatal(err)
+	}
+	results := <-out // the storm settles both cells regardless
+	close(stop)
+	wg.Wait()
+	for i, r := range results {
+		if r == nil || r.Err != "" {
+			t.Fatalf("cell %d after Close race: %+v", i, r)
+		}
 	}
 }
 

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"reno/internal/service"
+	"reno/internal/sweep"
+)
+
+// FuzzClusterProtocol throws arbitrary bytes at every /v1/cluster/*
+// endpoint of a coordinator with a live sweep. Malformed JSON, truncated
+// uploads, and wrong-key results must come back as protocol errors —
+// never a panic, and never a success that corrupts the sweep.
+func FuzzClusterProtocol(f *testing.F) {
+	spec, jobs, keys, _ := testGrid(f, twoCellSpec)
+	grid, err := sweep.ParseGridJSON(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// MaxAttempts is effectively infinite so fuzz inputs that land as
+	// "failed cell" reports can never finish the sweep out from under
+	// later iterations.
+	c := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Hour, MaxAttempts: 1 << 30})
+	cancel, out := startDispatch(f, c, "sw-fuzz", spec, jobs, grid.Options(), func(service.Event) {})
+	f.Cleanup(func() {
+		cancel()
+		<-out
+		c.Close()
+	})
+	handler := c.Handler()
+
+	f.Add(uint8(0), []byte(`{"worker":"w1","capacity":1}`))
+	f.Add(uint8(1), []byte(`{"worker":"w1","lease":"ls-000001"}`))
+	f.Add(uint8(2), []byte(`{"worker":"w1","lease":"ls-000001","sweep":"sw-fuzz","results":[{"cell":0,"key":"wrong-key","record":"e30="}]}`))
+	f.Add(uint8(2), []byte(`{"worker":"w1","lease":"ls-000001","sweep":"sw-fuzz","results":[{"cell":0,"key":"`+keys[0]+`"`)) // truncated upload
+	f.Add(uint8(3), []byte(``))
+	f.Add(uint8(2), []byte(`not json at all`))
+	f.Add(uint8(1), []byte(`{"lease":12}`))
+
+	f.Fuzz(func(t *testing.T, endpoint uint8, body []byte) {
+		var req *http.Request
+		switch endpoint % 4 {
+		case 0:
+			req = httptest.NewRequest(http.MethodPost, "/v1/cluster/lease", bytes.NewReader(body))
+		case 1:
+			req = httptest.NewRequest(http.MethodPost, "/v1/cluster/heartbeat", bytes.NewReader(body))
+		case 2:
+			req = httptest.NewRequest(http.MethodPost, "/v1/cluster/results", bytes.NewReader(body))
+		case 3:
+			req = httptest.NewRequest(http.MethodGet, "/v1/cluster/state", bytes.NewReader(body))
+		}
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		switch rr.Code {
+		case http.StatusOK, http.StatusNoContent, http.StatusBadRequest, http.StatusGone:
+		default:
+			t.Fatalf("endpoint %d answered %d for %q", endpoint%4, rr.Code, body)
+		}
+		// Whatever the input did, the coordinator is still coherent: the
+		// sweep is alive and stats marshal.
+		if st := c.stats(); st.ActiveSweeps != 1 {
+			t.Fatalf("sweep lost after input %q: %+v", body, st)
+		}
+	})
+}

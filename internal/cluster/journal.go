@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The write-ahead journal makes coordinator job state durable: every job
+// submission, lease transition, settled cell, and job completion is an
+// appended NDJSON record, so a coordinator restart (or a promoted standby
+// sharing the journal's filesystem) can reconstruct which sweeps were in
+// flight and resume them instead of losing them. Only the submit/cell/done
+// records carry recovery semantics — replay is in recover.go — while the
+// lease records are a scheduling audit trail. The journal never stores
+// result payloads: completed cells live in the content-addressed result
+// store, and a resumed sweep's cache pass re-resolves them by run key,
+// which is exactly how replay "skips cells already present in the store".
+
+// journalRecord is one NDJSON line of the write-ahead journal. Type is one
+// of submit, grant, renew, expire, steal, cell, done; every other field is
+// populated only where it applies.
+type journalRecord struct {
+	Type   string          `json:"type"`
+	Sweep  string          `json:"sweep,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Lease  string          `json:"lease,omitempty"`
+	Worker string          `json:"worker,omitempty"`
+	Cells  []int           `json:"cells,omitempty"`
+	Cell   *int            `json:"cell,omitempty"`
+	Key    string          `json:"key,omitempty"`
+	Err    string          `json:"error,omitempty"`
+}
+
+// Journal is the coordinator's append-only write-ahead log. Appends are
+// best-effort in the same spirit as ResultStore.Put: an append that cannot
+// land is counted, never surfaced on the scheduling path — durability
+// degrades, correctness does not. Records that decide recovery (submit,
+// cell, done) are fsynced; lease audit records are buffered writes.
+type Journal struct {
+	path string
+
+	mu        sync.Mutex
+	f         *os.File        // guarded by mu; nil once closed
+	seen      map[string]bool // guarded by mu; sweep ids with a live submit record
+	records   uint64          // guarded by mu
+	bytes     int64           // guarded by mu
+	appendErr uint64          // guarded by mu
+
+	// recovered is set once at open and immutable afterwards.
+	recovered []RecoveredSweep
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays any
+// existing records to reconstruct the incomplete sweeps — available from
+// Recovered, in submission order — and compacts the file down to exactly
+// those sweeps' records before reopening it for appends. A torn final
+// line (the crash happened mid-append) and corrupt lines are skipped, not
+// fatal: the journal trades completeness of the audit trail for never
+// refusing to start.
+func OpenJournal(path string) (*Journal, error) {
+	st, err := replayPath(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{path: path, seen: make(map[string]bool), recovered: st.incomplete()}
+	if err := j.compact(st); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.mu.Lock()
+	j.f = f
+	if fi, err := f.Stat(); err == nil {
+		j.bytes = fi.Size()
+	}
+	for _, rs := range j.recovered {
+		j.seen[rs.ID] = true
+	}
+	j.mu.Unlock()
+	return j, nil
+}
+
+// compact rewrites the journal to hold only the incomplete sweeps'
+// submit and cell records (atomically, via temp + rename in the same
+// directory), so completed sweeps stop costing replay time and disk
+// across restarts. A journal that replays empty becomes an empty file.
+func (j *Journal) compact(st *replayState) error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".journal-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	for _, rs := range st.incomplete() {
+		recs := []journalRecord{{Type: "submit", Sweep: rs.ID, Spec: rs.Spec}}
+		for _, cell := range rs.SettledCells() {
+			cell := cell
+			out := rs.Settled[cell]
+			recs = append(recs, journalRecord{Type: "cell", Sweep: rs.ID, Cell: &cell, Key: out.Key, Err: out.Err})
+		}
+		for _, rec := range recs {
+			data, err := json.Marshal(rec)
+			if err != nil {
+				tmp.Close()
+				return err
+			}
+			if _, err := tmp.Write(append(data, '\n')); err != nil {
+				tmp.Close()
+				return err
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), j.path)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Recovered returns the sweeps that were in flight when the journal was
+// last written — the caller restores them (service.Restore) after wiring
+// the coordinator up, and their cache pass skips every cell whose result
+// already reached the store.
+func (j *Journal) Recovered() []RecoveredSweep { return j.recovered }
+
+// Stats snapshots the journal for /v1/healthz.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Path:            j.path,
+		Records:         j.records,
+		Bytes:           j.bytes,
+		RecoveredSweeps: len(j.recovered),
+		AppendErrors:    j.appendErr,
+	}
+}
+
+// Close syncs and closes the journal; later appends are dropped (and
+// counted), not errors. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// submit records a job's intake. The spec is the verbatim grid JSON; the
+// record is fsynced before submit returns, so an acknowledged submission
+// survives kill -9. Duplicate submits of one sweep (service intake first,
+// Dispatch again later) collapse to the first record.
+func (j *Journal) submit(id string, spec []byte) {
+	j.mu.Lock()
+	dup := j.seen[id]
+	if !dup {
+		j.seen[id] = true
+	}
+	j.mu.Unlock()
+	if dup {
+		return
+	}
+	j.append(journalRecord{Type: "submit", Sweep: id, Spec: json.RawMessage(spec)}, true)
+}
+
+// cell records one settled cell: its run key and, for a cell that settled
+// failed, the failure message. Fsynced — replay must never resurrect a
+// settled failure as pending work beyond the attempt budget.
+func (j *Journal) cell(sweep string, cell int, key, errMsg string) {
+	j.append(journalRecord{Type: "cell", Sweep: sweep, Cell: &cell, Key: key, Err: errMsg}, true)
+}
+
+// done records a sweep reaching a terminal state (completed or cancelled);
+// replay drops done sweeps and the next compaction reclaims their records.
+func (j *Journal) done(sweep string) {
+	j.append(journalRecord{Type: "done", Sweep: sweep}, true)
+}
+
+// lease records a lease transition (grant, renew, expire, steal) — audit
+// only, so the write is buffered, not fsynced.
+func (j *Journal) lease(action, sweep, lease, worker string, cells []int) {
+	j.append(journalRecord{Type: action, Sweep: sweep, Lease: lease, Worker: worker, Cells: cells}, false)
+}
+
+// append marshals and writes one record; sync forces it to disk. All
+// failure modes are counted in AppendErrors and otherwise swallowed.
+func (j *Journal) append(rec journalRecord, sync bool) {
+	data, err := json.Marshal(rec)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil || j.f == nil {
+		j.appendErr++
+		return
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		j.appendErr++
+		return
+	}
+	j.records++
+	j.bytes += int64(len(data) + 1)
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			j.appendErr++
+		}
+	}
+}

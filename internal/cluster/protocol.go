@@ -123,4 +123,20 @@ type Stats struct {
 	LeasesExpired    uint64 `json:"leases_expired"`
 	LeasesStolen     uint64 `json:"leases_stolen"`
 	DuplicateResults uint64 `json:"duplicate_results"`
+	// Journal reports write-ahead-journal state when durability is
+	// configured (renoserve -journal); nil otherwise.
+	Journal *JournalStats `json:"journal,omitempty"`
+}
+
+// JournalStats is the write-ahead journal's health row inside Stats: where
+// it lives, how much it has logged since open, how many in-flight sweeps
+// the last replay recovered, and whether appends are failing (a non-zero
+// AppendErrors means durability is degraded — scheduling continues, but a
+// crash would lose whatever failed to land).
+type JournalStats struct {
+	Path            string `json:"path"`
+	Records         uint64 `json:"records"`
+	Bytes           int64  `json:"bytes"`
+	RecoveredSweeps int    `json:"recovered_sweeps"`
+	AppendErrors    uint64 `json:"append_errors,omitempty"`
 }

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// Replay-on-start: OpenJournal feeds the journal file through
+// replayJournal, which folds the record stream into the set of sweeps
+// that were submitted but never reached a terminal state. Those are the
+// sweeps a restarted coordinator (or a promoted standby) must resume.
+
+// CellOutcome is the settled state of one cell as recorded in the
+// journal: the run key it settled under, and the failure message when it
+// settled failed (empty Err means the keyed result is in the store).
+type CellOutcome struct {
+	Key string
+	Err string
+}
+
+// RecoveredSweep is one incomplete sweep reconstructed from the journal:
+// its id, the verbatim grid spec it was submitted with, and the cells
+// that had already settled. Restoring it (service.Restore) re-runs the
+// grid; the dispatch cache pass resolves every settled cell from the
+// result store by key, so only genuinely unfinished cells are leased out
+// again.
+type RecoveredSweep struct {
+	ID      string
+	Spec    json.RawMessage
+	Settled map[int]CellOutcome
+}
+
+// SettledCells returns the settled cell indices in ascending order.
+func (rs *RecoveredSweep) SettledCells() []int {
+	cells := make([]int, 0, len(rs.Settled))
+	for cell := range rs.Settled {
+		cells = append(cells, cell)
+	}
+	sort.Ints(cells)
+	return cells
+}
+
+// replayState accumulates the journal fold: sweeps in submission order,
+// minus the ones that reached done.
+type replayState struct {
+	sweeps map[string]*RecoveredSweep
+	order  []string
+	lines  int // decoded records
+	skips  int // undecodable lines (torn tail, corruption)
+}
+
+// incomplete returns the recovered sweeps in submission order.
+func (st *replayState) incomplete() []RecoveredSweep {
+	out := make([]RecoveredSweep, 0, len(st.order))
+	for _, id := range st.order {
+		if rs, ok := st.sweeps[id]; ok {
+			out = append(out, *rs)
+		}
+	}
+	return out
+}
+
+// replayPath replays the journal at path; a missing file is an empty
+// journal, not an error.
+func replayPath(path string) (*replayState, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return replayJournal(nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return replayJournal(f)
+}
+
+// maxJournalLine bounds one journal record; specs are capped well below
+// this by the service intake limit.
+const maxJournalLine = 4 << 20
+
+// replayJournal folds a journal record stream into the incomplete-sweep
+// set. Undecodable lines — a torn tail from a crash mid-append, or any
+// corruption — are counted and skipped: recovery prefers resuming with
+// what decodes over refusing to start. A nil reader replays empty.
+func replayJournal(r io.Reader) (*replayState, error) {
+	st := &replayState{sweeps: make(map[string]*RecoveredSweep)}
+	if r == nil {
+		return st, nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxJournalLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Type == "" {
+			st.skips++
+			continue
+		}
+		st.lines++
+		st.apply(rec)
+	}
+	if err := sc.Err(); err != nil {
+		// An over-long or unterminated final line is a torn tail, not a
+		// reason to refuse recovery of everything before it.
+		if errors.Is(err, bufio.ErrTooLong) {
+			st.skips++
+			return st, nil
+		}
+		return nil, err
+	}
+	return st, nil
+}
+
+// apply folds one record into the state.
+func (st *replayState) apply(rec journalRecord) {
+	switch rec.Type {
+	case "submit":
+		if rec.Sweep == "" || len(rec.Spec) == 0 {
+			st.skips++
+			return
+		}
+		if _, ok := st.sweeps[rec.Sweep]; ok {
+			return // duplicate submit (intake + dispatch): first wins
+		}
+		st.sweeps[rec.Sweep] = &RecoveredSweep{
+			ID:      rec.Sweep,
+			Spec:    append(json.RawMessage(nil), rec.Spec...),
+			Settled: make(map[int]CellOutcome),
+		}
+		st.order = append(st.order, rec.Sweep)
+	case "cell":
+		rs, ok := st.sweeps[rec.Sweep]
+		if !ok || rec.Cell == nil {
+			st.skips++
+			return
+		}
+		rs.Settled[*rec.Cell] = CellOutcome{Key: rec.Key, Err: rec.Err}
+	case "done":
+		delete(st.sweeps, rec.Sweep)
+	case "grant", "renew", "expire", "steal":
+		// Lease transitions are an audit trail; scheduling state is
+		// rebuilt fresh — replay re-queues every unsettled cell and the
+		// normal lease protocol re-issues what expiry would have.
+	default:
+		st.skips++
+	}
+}

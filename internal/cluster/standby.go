@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Standby failover: a second coordinator process starts with
+// `renoserve -role coordinator -standby http://primary:port` and the same
+// shared -store/-journal filesystem. It serves 503 on everything but its
+// healthz while a Standby watcher probes the primary; when the primary
+// goes dark for Failures consecutive probes, Run returns and the caller
+// promotes — opening the journal (recovering the primary's in-flight
+// sweeps) and swapping in the full coordinator API. Workers need no
+// reconfiguration: their -peers rotation already lands on the standby on
+// the first failed request, and its 503s push them back to the primary
+// until the promotion happens.
+
+// DefaultStandbyProbe is the primary-health poll interval when
+// StandbyConfig leaves it zero.
+const DefaultStandbyProbe = time.Second
+
+// DefaultStandbyFailures is how many consecutive dark probes promote when
+// StandbyConfig leaves it zero. With the default probe interval the
+// failover point is ~3s of primary silence — slower than a worker lease
+// TTL, so a promotion never races a merely-slow primary's own reaper.
+const DefaultStandbyFailures = 3
+
+// StandbyConfig parameterizes a Standby watcher.
+type StandbyConfig struct {
+	// Primary is the primary coordinator's base URL ("http://host:port");
+	// its /v1/healthz answering 200 counts as alive. Required.
+	Primary string
+	// Probe is the poll interval; zero means DefaultStandbyProbe.
+	Probe time.Duration
+	// Failures is how many consecutive failed probes trigger promotion;
+	// zero means DefaultStandbyFailures.
+	Failures int
+	// Client overrides the HTTP client (tests); nil means a default whose
+	// timeout keeps one hung probe from masking a dead primary.
+	Client *http.Client
+}
+
+// StandbyStats snapshots the watcher for the standby's healthz.
+type StandbyStats struct {
+	Primary     string `json:"primary"`
+	Probes      uint64 `json:"probes"`
+	Failures    uint64 `json:"failures"`
+	Consecutive int    `json:"consecutive_failures"`
+	Promoted    bool   `json:"promoted"`
+}
+
+// Standby watches a primary coordinator's health and decides when to take
+// over. It holds no cluster state itself — promotion is one-way and the
+// journal replay does the actual recovery.
+type Standby struct {
+	cfg    StandbyConfig
+	client *http.Client
+
+	mu    sync.Mutex
+	stats StandbyStats // guarded by mu
+}
+
+// NewStandby returns a watcher for the given primary.
+func NewStandby(cfg StandbyConfig) (*Standby, error) {
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("cluster standby: empty primary URL")
+	}
+	if cfg.Probe <= 0 {
+		cfg.Probe = DefaultStandbyProbe
+	}
+	if cfg.Failures <= 0 {
+		cfg.Failures = DefaultStandbyFailures
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Probe}
+	}
+	return &Standby{cfg: cfg, client: client, stats: StandbyStats{Primary: cfg.Primary}}, nil
+}
+
+// Run probes the primary until it is judged dead or ctx ends. A nil
+// return is the promotion signal: the primary failed Failures consecutive
+// probes and the caller should take over. A non-nil return is ctx's error
+// — the standby is shutting down without promoting.
+func (s *Standby) Run(ctx context.Context) error {
+	t := time.NewTicker(s.cfg.Probe)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			if s.probe(ctx) {
+				s.mu.Lock()
+				s.stats.Probes++
+				s.stats.Consecutive = 0
+				s.mu.Unlock()
+				continue
+			}
+			s.mu.Lock()
+			s.stats.Probes++
+			s.stats.Failures++
+			s.stats.Consecutive++
+			promote := s.stats.Consecutive >= s.cfg.Failures
+			if promote {
+				s.stats.Promoted = true
+			}
+			s.mu.Unlock()
+			if promote {
+				return nil
+			}
+		}
+	}
+}
+
+// probe reports whether the primary's healthz answered 200.
+func (s *Standby) probe(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.cfg.Primary+"/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Stats snapshots the watcher's counters.
+func (s *Standby) Stats() StandbyStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

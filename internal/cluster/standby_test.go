@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStandbyPromotesWhenPrimaryDies: the watcher tolerates a healthy
+// primary indefinitely, then returns nil (the promotion signal) only
+// after the configured run of consecutive dark probes.
+func TestStandbyPromotesWhenPrimaryDies(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" && healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	s, err := NewStandby(StandbyConfig{Primary: ts.URL, Probe: 5 * time.Millisecond, Failures: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+
+	// Several healthy probes land; no promotion.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Probes < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never probed the primary")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("promoted while the primary was healthy: %v", err)
+	default:
+	}
+	if st := s.Stats(); st.Consecutive != 0 || st.Promoted {
+		t.Fatalf("stats while healthy: %+v", st)
+	}
+
+	healthy.Store(false)
+	if err := <-done; err != nil {
+		t.Fatalf("Run returned %v, want nil (the promotion signal)", err)
+	}
+	st := s.Stats()
+	if !st.Promoted || st.Consecutive < 3 || st.Failures < 3 {
+		t.Fatalf("stats after promotion: %+v", st)
+	}
+}
+
+// TestStandbyCancelledBeforePromotion: shutdown during standby returns the
+// context error, never the promotion signal.
+func TestStandbyCancelledBeforePromotion(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	s, err := NewStandby(StandbyConfig{Primary: ts.URL, Probe: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	time.Sleep(15 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if s.Stats().Promoted {
+		t.Error("cancelled watcher reported promotion")
+	}
+}
+
+func TestStandbyRequiresPrimary(t *testing.T) {
+	if _, err := NewStandby(StandbyConfig{}); err == nil {
+		t.Fatal("NewStandby accepted an empty primary URL")
+	}
+}

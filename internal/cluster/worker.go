@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -39,6 +41,10 @@ type WorkerConfig struct {
 	Client *http.Client
 	// Clock substitutes a fake time source in tests; nil means time.Now.
 	Clock func() time.Time
+	// Seed seeds the coordinator-loss backoff jitter, so a chaos run is
+	// reproducible from a single seed. Zero derives a stable per-worker
+	// seed from ID (workers still decorrelate, runs still reproduce).
+	Seed int64
 }
 
 // WorkerStats counts a worker's lifetime activity, served on its own
@@ -67,6 +73,7 @@ type Worker struct {
 	mu    sync.Mutex
 	coord int         // guarded by mu
 	stats WorkerStats // guarded by mu
+	rng   *rand.Rand  // guarded by mu; seeded backoff jitter
 }
 
 // NewWorker returns a Worker ready for Run.
@@ -88,13 +95,33 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if clock == nil {
 		clock = time.Now
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(cfg.ID))
+		seed = int64(h.Sum64())
+	}
 	return &Worker{
 		cfg:     cfg,
 		client:  client,
 		clock:   clock,
 		started: clock(),
 		stats:   WorkerStats{ID: cfg.ID},
+		rng:     rand.New(rand.NewSource(seed)),
 	}, nil
+}
+
+// jitter returns a duration in [0, limit) from the worker's seeded PRNG.
+// Jitter decorrelates backoff across workers hammering a dead
+// coordinator, without giving up reproducibility: the sequence is a pure
+// function of the configured seed.
+func (w *Worker) jitter(limit time.Duration) time.Duration {
+	if limit <= 0 {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Duration(w.rng.Int63n(int64(limit)))
 }
 
 // Run executes the worker loop until ctx is cancelled: request a lease,
@@ -110,7 +137,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		grant, ok, err := w.requestLease(ctx)
 		if err != nil {
 			w.rotateCoordinator()
-			sleepCtx(ctx, backoff)
+			sleepCtx(ctx, backoff+w.jitter(backoff/2))
 			if backoff *= 2; backoff > maxBackoff {
 				backoff = maxBackoff
 			}
@@ -263,6 +290,14 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cancel context.CancelFunc, g
 				w.bump(func(s *WorkerStats) { s.LeasesLost++ })
 				cancel()
 				return
+			}
+			if status >= http.StatusInternalServerError {
+				// 5xx is not a live coordinator: an unpromoted standby
+				// answers 503 on every cluster endpoint. Rotate so the
+				// next beat (and the post-batch lease request) lands on
+				// a peer that can actually renew.
+				w.rotateCoordinator()
+				continue
 			}
 		}
 	}

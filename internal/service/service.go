@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -332,6 +333,18 @@ type ClusterReporter interface {
 	ClusterStats() any
 }
 
+// Journaler is implemented by dispatchers that persist job intake (the
+// cluster coordinator's write-ahead journal). When Config.Dispatcher
+// implements it, the scheduler records every accepted job — Submit and
+// Restore alike — before acknowledging it, so jobs still waiting for a
+// runner survive a crash, and records the one terminal transition that
+// never reaches Dispatch (a job cancelled while queued), so a restart
+// cannot resurrect it.
+type Journaler interface {
+	JournalSubmit(id string, spec []byte)
+	JournalSettled(id string)
+}
+
 // Config sizes a Service.
 type Config struct {
 	// Workers is the per-sweep pool width (0 = GOMAXPROCS). A grid's own
@@ -544,7 +557,90 @@ func (s *Service) Submit(spec []byte) (*Job, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.wake.Signal()
+	// Journal before the caller learns the ID: an acknowledged submission
+	// must survive a crash even if no runner ever picks it up.
+	if jn, ok := s.cfg.Dispatcher.(Journaler); ok {
+		jn.JournalSubmit(j.id, j.spec)
+	}
 	return j, nil
+}
+
+// Restore re-enqueues a job recovered from the dispatcher's journal under
+// its original ID (the scheduler's "sw-NNNNNN" shape; anything else is
+// rejected). The spec goes through the same parse/validate/expand path as
+// Submit, the sequence counter advances past the restored number so new
+// submissions never collide, and the job queues normally — its dispatch
+// cache pass then resolves every cell whose result already reached the
+// store, so recovery re-simulates nothing that survived. Restore bypasses
+// the queue-depth bound: refusing recovery would strand journaled jobs.
+func (s *Service) Restore(id string, spec []byte) (*Job, error) {
+	n, err := parseJobID(id)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := sweep.ParseGridJSON(spec)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := grid.Expand()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := s.jobs[id]; ok {
+		return nil, fmt.Errorf("restore: job %q already exists", id)
+	}
+	if n > s.seq {
+		s.seq = n
+	}
+	j := &Job{
+		id:      id,
+		spec:    append([]byte(nil), spec...),
+		grid:    grid,
+		jobs:    jobs,
+		created: time.Now(),
+		update:  make(chan struct{}),
+		state:   StateQueued,
+		events:  []Event{{Type: "state", State: StateQueued}},
+	}
+	s.pending = append(s.pending, j)
+	s.jobs[id] = j
+	// s.order must stay ascending (JobsPage binary-searches it), and a
+	// restored ID may interleave with jobs submitted before the restore.
+	at := sort.SearchStrings(s.order, id)
+	s.order = append(s.order, "")
+	copy(s.order[at+1:], s.order[at:])
+	s.order[at] = id
+	s.wake.Signal()
+	if jn, ok := s.cfg.Dispatcher.(Journaler); ok {
+		jn.JournalSubmit(id, j.spec)
+	}
+	return j, nil
+}
+
+// parseJobID validates the scheduler's zero-padded "sw-NNNNNN" ID shape
+// and returns its sequence number.
+func parseJobID(id string) (int, error) {
+	digits, ok := strings.CutPrefix(id, "sw-")
+	if !ok || len(digits) < 6 {
+		return 0, fmt.Errorf("restore: malformed job id %q", id)
+	}
+	n := 0
+	for _, r := range digits {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("restore: malformed job id %q", id)
+		}
+		n = n*10 + int(r-'0')
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("restore: malformed job id %q", id)
+	}
+	return n, nil
 }
 
 // Job looks a job up by ID.
@@ -624,6 +720,11 @@ func (s *Service) Cancel(id string) (bool, error) {
 		j.finished = time.Now()
 		j.results = []*sweep.Result{} // non-nil: an (empty) envelope exists
 		j.setStateLocked(StateCancelled)
+		// This settlement never reaches the dispatcher, so the journal
+		// must hear about it here or a restart would resurrect the job.
+		if jn, ok := s.cfg.Dispatcher.(Journaler); ok {
+			jn.JournalSettled(id)
+		}
 		return true, nil
 	case j.state == StateRunning:
 		j.cancelled = true

@@ -47,6 +47,22 @@ func (rep *Report) MetricsReport(opts EmitOptions) (*metrics.Report, error) {
 	if opts.Deterministic {
 		grid.Workers = 0
 	}
+	// Absent axes marshal as [] rather than null, so a grid parsed from a
+	// spec that omits an axis embeds the same bytes as one built from
+	// explicit empty slices — the envelope must not depend on which door
+	// the grid came in through (CLI flags, -grid file, or POST body).
+	if grid.Benches == nil {
+		grid.Benches = []string{}
+	}
+	if grid.MachineConfigs == nil {
+		grid.MachineConfigs = []Spec{}
+	}
+	if grid.RenoConfigs == nil {
+		grid.RenoConfigs = []Spec{}
+	}
+	if grid.Seeds == nil {
+		grid.Seeds = []int64{}
+	}
 	spec, err := json.Marshal(grid)
 	if err != nil {
 		return nil, err
